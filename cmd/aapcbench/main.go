@@ -1,0 +1,200 @@
+// Command aapcbench reproduces the paper's evaluation (Section 6) on the
+// simulated cluster substrate: for each topology of Fig. 5 it measures the
+// completion time and aggregate throughput of LAM, MPICH and the
+// automatically generated routine across message sizes, printing the tables
+// and series behind Figs. 6, 7 and 8. It can additionally run the
+// synchronization-mode and scheduler ablations.
+//
+// Usage:
+//
+//	aapcbench [-topo a|b|c|fig1|all] [-file cluster.topo] [-msizes 8K,64K]
+//	          [-bw Mbps] [-alpha seconds] [-mineff f] [-jitter f]
+//	          [-ablation] [-plot] [-trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/aapc-sched/aapcsched/internal/alltoall"
+	"github.com/aapc-sched/aapcsched/internal/harness"
+	"github.com/aapc-sched/aapcsched/internal/simnet"
+	"github.com/aapc-sched/aapcsched/internal/topology"
+	"github.com/aapc-sched/aapcsched/internal/trace"
+)
+
+// printTrace renders the sender timeline of the generated routine.
+func printTrace(g *topology.Graph, net simnet.Config, msize int) error {
+	sc, err := harness.CompileRoutine(g, alltoall.PairwiseSync)
+	if err != nil {
+		return err
+	}
+	cfg := net
+	cfg.Graph = g
+	elapsed, records, stats, err := harness.MeasureTracedStats(cfg, sc.Fn(), msize)
+	if err != nil {
+		return err
+	}
+	tl := trace.New(records)
+	st := tl.Stats()
+	fmt.Printf("\ngenerated routine at %s: %d data flows, %d sync messages, peak concurrency %d\n",
+		harness.FormatMsize(msize), st.DataFlows, st.ControlFlows, st.MaxConcurrentData)
+	fmt.Print(tl.Gantt(96))
+	fmt.Print(trace.UtilizationReport(g, stats, elapsed))
+	return nil
+}
+
+func main() {
+	var (
+		topo     = flag.String("topo", "all", "topology preset: a, b, c, fig1 or all")
+		file     = flag.String("file", "", "topology DSL file (overrides -topo)")
+		msizes   = flag.String("msizes", "", "comma-separated message sizes (e.g. 8K,64K,256K); default the paper's 8K..256K")
+		bwMbps   = flag.Float64("bw", 100, "link bandwidth in Mbps")
+		alpha    = flag.Float64("alpha", simnet.DefaultStartupLatency, "per-message startup latency in seconds")
+		minEff   = flag.Float64("mineff", simnet.DefaultMinEfficiency, "asymptotic link efficiency under contention (1 = ideal fluid)")
+		ablation = flag.Bool("ablation", false, "also run synchronization and scheduler ablations")
+		plot     = flag.Bool("plot", false, "render ASCII throughput plots")
+		gantt    = flag.Bool("trace", false, "render a sender Gantt chart of the generated routine at the smallest message size")
+		jitter   = flag.Float64("jitter", 0, "per-message startup jitter fraction (models OS noise; 0 = deterministic lockstep)")
+		control  = flag.Float64("control", 0, "startup latency for control-sized messages (seconds; 0 = same as -alpha)")
+		csvPath  = flag.String("csv", "", "append results as CSV to this file ('-' for stdout)")
+		iters    = flag.Int("iters", 1, "back-to-back invocations per cell, reporting the mean (the paper uses 10)")
+	)
+	flag.Parse()
+	if err := run(*topo, *file, *msizes, *bwMbps, *alpha, *minEff, *ablation, *plot, *gantt, *jitter, *control, *csvPath, *iters); err != nil {
+		fmt.Fprintln(os.Stderr, "aapcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topo, file, msizes string, bwMbps, alpha, minEff float64, ablation, plot, gantt bool, jitter, control float64, csvPath string, iters int) error {
+	sizes, err := parseMsizes(msizes)
+	if err != nil {
+		return err
+	}
+	net := simnet.Config{
+		LinkBandwidth:  bwMbps * 1e6 / 8,
+		StartupLatency: alpha,
+		MinEfficiency:  minEff,
+		JitterFrac:     jitter,
+		JitterSeed:     1,
+		ControlLatency: control,
+	}
+	type target struct {
+		name  string
+		graph *topology.Graph
+	}
+	var targets []target
+	switch {
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		g, err := topology.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		targets = append(targets, target{name: file, graph: g})
+	case topo == "all":
+		for _, name := range []string{"a", "b", "c"} {
+			g, err := harness.Preset(name)
+			if err != nil {
+				return err
+			}
+			targets = append(targets, target{name: "topology (" + name + ")", graph: g})
+		}
+	default:
+		g, err := harness.Preset(topo)
+		if err != nil {
+			return err
+		}
+		targets = append(targets, target{name: "topology (" + topo + ")", graph: g})
+	}
+
+	for _, tg := range targets {
+		algs := []harness.Algorithm{harness.LAM(), harness.MPICHAlg(), harness.Ours(alltoall.PairwiseSync)}
+		if ablation {
+			algs = append(algs,
+				harness.Ours(alltoall.BarrierSync),
+				harness.Ours(alltoall.NoSync),
+				harness.OursGreedy(),
+			)
+		}
+		exp := &harness.Experiment{
+			Name:       tg.name,
+			Graph:      tg.graph,
+			Msizes:     sizes,
+			Algorithms: algs,
+			Net:        net,
+			Iterations: iters,
+		}
+		rep, err := exp.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Summary())
+		if csvPath != "" {
+			if err := appendCSV(csvPath, rep.CSV()); err != nil {
+				return err
+			}
+		}
+		if plot {
+			fmt.Print(rep.ThroughputPlot(14))
+		}
+		if gantt {
+			if err := printTrace(tg.graph, net, rep.Msizes[0]); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// appendCSV writes CSV rows to a file or stdout.
+func appendCSV(path, csv string) error {
+	if path == "-" {
+		_, err := fmt.Print(csv)
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString(csv)
+	return err
+}
+
+func parseMsizes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil // Experiment.Run defaults to the paper's sizes
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		mult := 1
+		switch {
+		case strings.HasSuffix(part, "M"):
+			mult = 1 << 20
+			part = part[:len(part)-1]
+		case strings.HasSuffix(part, "K"):
+			mult = 1 << 10
+			part = part[:len(part)-1]
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad message size %q", part)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("non-positive message size %q", part)
+		}
+		out = append(out, v*mult)
+	}
+	return out, nil
+}

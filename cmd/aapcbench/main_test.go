@@ -1,0 +1,66 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseMsizes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+	}{
+		{"", nil},
+		{"8K", []int{8192}},
+		{"8K,64K,256K", []int{8192, 65536, 262144}},
+		{"1M", []int{1 << 20}},
+		{"100", []int{100}},
+		{" 4K , 2K ", []int{4096, 2048}},
+	}
+	for _, tc := range cases {
+		got, err := parseMsizes(tc.in)
+		if err != nil {
+			t.Errorf("parseMsizes(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseMsizes(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"x", "8Q", "-4K", "0"} {
+		if _, err := parseMsizes(bad); err == nil {
+			t.Errorf("parseMsizes(%q): want error", bad)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// Full driver path on the small example topology, all features on.
+	err := run("fig1", "", "8K", 100, 0.5e-3, 0.6, true, true, true, 0.3, 1e-4, "-", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTopologyFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/c.topo"
+	if err := writeTestTopo(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", path, "4K", 100, 0.5e-3, 1, false, false, false, 0, 0, "", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", "", "", 100, 0, 0.6, false, false, false, 0, 0, "", 1); err == nil {
+		t.Error("want error for unknown preset")
+	}
+	if err := run("", "/does/not/exist", "", 100, 0, 0.6, false, false, false, 0, 0, "", 1); err == nil {
+		t.Error("want error for missing file")
+	}
+	if err := run("fig1", "", "zap", 100, 0, 0.6, false, false, false, 0, 0, "", 1); err == nil {
+		t.Error("want error for bad msizes")
+	}
+}

@@ -1,0 +1,16 @@
+package main
+
+import "os"
+
+// writeTestTopo writes a tiny 2-switch cluster description for driver tests.
+func writeTestTopo(path string) error {
+	return os.WriteFile(path, []byte(`
+switches s0 s1
+machines a b c d
+link s0 s1
+link s0 a
+link s0 b
+link s1 c
+link s1 d
+`), 0o644)
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunPresetSummary(t *testing.T) {
+	if err := run("", "fig1", "", "", "main", "newX", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEmitsFiles(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := dir + "/s.json"
+	goPath := dir + "/r.go"
+	if err := run("", "fig1", jsonPath, goPath, "main", "newFig1", false); err != nil {
+		t.Fatal(err)
+	}
+	jdata, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(jdata), `"numPhases": 9`) {
+		t.Errorf("JSON output missing phase count")
+	}
+	gdata, err := os.ReadFile(goPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(gdata), "func newFig1()") {
+		t.Errorf("Go output missing constructor")
+	}
+}
+
+func TestRunTopologyFileAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	topo := dir + "/t.topo"
+	if err := os.WriteFile(topo, []byte("switch s\nmachines a b c\nlink s a\nlink s b\nlink s c\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(topo, "", "-", "", "main", "newX", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "", "", "", "main", "newX", false); err == nil {
+		t.Error("want error without -file or -topo")
+	}
+	if err := run("", "zzz", "", "", "main", "newX", false); err == nil {
+		t.Error("want error for unknown preset")
+	}
+	if err := run("/nope", "", "", "", "main", "newX", false); err == nil {
+		t.Error("want error for missing file")
+	}
+}
+
+func TestRunCheck(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := dir + "/s.json"
+	if err := run("", "fig1", jsonPath, "", "main", "newX", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCheck("", "fig1", jsonPath); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	// A schedule for the wrong topology must be rejected.
+	if err := runCheck("", "a", jsonPath); err == nil {
+		t.Error("want error for schedule/topology mismatch")
+	}
+	// Corrupt JSON must be rejected.
+	bad := dir + "/bad.json"
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCheck("", "fig1", bad); err == nil {
+		t.Error("want error for corrupt JSON")
+	}
+	if err := runCheck("", "fig1", dir+"/missing.json"); err == nil {
+		t.Error("want error for missing file")
+	}
+}
+
+func TestWiringMode(t *testing.T) {
+	dir := t.TempDir()
+	wfile := dir + "/w.topo"
+	wtext := "switches s0 s1 s2\nmachines a b c\nlink s0 s1\nlink s1 s2\nlink s2 s0\nlink s0 a\nlink s1 b\nlink s2 c\n"
+	if err := os.WriteFile(wfile, []byte(wtext), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	topoFromWiring = true
+	defer func() { topoFromWiring = false }()
+	if err := run(wfile, "", "", "", "main", "newX", false); err != nil {
+		t.Fatalf("wiring generation: %v", err)
+	}
+}

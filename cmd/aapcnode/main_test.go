@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int{"64K": 65536, "1M": 1 << 20, "100": 100}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if err != nil || got != want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-1", "0K"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q): want error", bad)
+		}
+	}
+}
+
+func TestLocalWorldEndToEnd(t *testing.T) {
+	for _, alg := range []string{"ours", "lam", "mpich"} {
+		if err := run(0, "", "", true, "fig1", "", alg, "4K"); err != nil {
+			t.Errorf("alg %s: %v", alg, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(0, "", "", false, "fig1", "", "ours", "4K"); err == nil {
+		t.Error("want error without a mode")
+	}
+	if err := run(0, "", "", true, "zzz", "", "ours", "4K"); err == nil {
+		t.Error("want error for unknown preset")
+	}
+	if err := run(0, "", "", true, "fig1", "", "zzz", "4K"); err == nil {
+		t.Error("want error for unknown algorithm")
+	}
+	if err := run(0, "", "", true, "fig1", "", "ours", "bogus"); err == nil {
+		t.Error("want error for bad msize")
+	}
+	if err := run(0, "", "127.0.0.1:1", false, "fig1", "", "ours", "4K"); err == nil {
+		t.Error("want error joining dead coordinator")
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunPresets(t *testing.T) {
+	for _, preset := range []string{"fig1", "a", "bg"} {
+		if err := run2("", preset, 100, false, false); err != nil {
+			t.Errorf("%s: %v", preset, err)
+		}
+	}
+	if err := run2("", "fig1", 100, false, true); err != nil {
+		t.Errorf("dot: %v", err)
+	}
+}
+
+func TestRunFileAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	topo := dir + "/t.topo"
+	if err := os.WriteFile(topo, []byte("switch s\nmachines a b c\nlink s a\nlink s b\nlink s c\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run2(topo, "", 100, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run2("", "", 100, false, false); err == nil {
+		t.Error("want error without inputs")
+	}
+	if err := run2("/nope", "", 100, false, false); err == nil {
+		t.Error("want error for missing file")
+	}
+	if err := run2("", "zzz", 100, false, false); err == nil {
+		t.Error("want error for unknown preset")
+	}
+	// Wiring mode: a redundant square derives a tree.
+	wfile := dir + "/w.topo"
+	wtext := "switches s0 s1\nmachines a b\nlink s0 s1\nlink s0 s1\nlink s0 a\nlink s1 b\n"
+	if err := os.WriteFile(wfile, []byte(wtext), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run2(wfile, "", 100, true, false); err != nil {
+		t.Errorf("wiring: %v", err)
+	}
+	if err := run2("/nope", "", 100, true, false); err == nil {
+		t.Error("want error for missing wiring file")
+	}
+}

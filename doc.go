@@ -1,0 +1,15 @@
+// Package aapcsched reproduces "Message Scheduling for All-to-All
+// Personalized Communication on Ethernet Switched Clusters" (Faraj & Yuan,
+// IPPS 2005) as a Go library: the contention-free AAPC scheduling algorithm,
+// the automatic MPI_Alltoall routine generator with pair-wise
+// synchronizations, the LAM/MPI and MPICH baseline algorithms, and a
+// discrete-event network simulator that stands in for the paper's physical
+// Ethernet cluster.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-versus-measured record. The implementation lives under internal/;
+// the runnable entry points are cmd/aapcgen (the routine generator),
+// cmd/aapcbench (the evaluation) and cmd/topoinfo (topology analysis), with
+// worked examples under examples/.
+package aapcsched

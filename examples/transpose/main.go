@@ -1,0 +1,104 @@
+// Matrix transpose — the workload the paper's introduction motivates AAPC
+// with. A square matrix is distributed by row blocks across the ranks; the
+// transpose is one MPI_Alltoall (each rank sends to every other rank the
+// sub-block that belongs to it after transposition) plus a local transpose
+// of each received sub-block.
+//
+// The example runs on the in-process transport with real data and verifies
+// the result element by element, once with the LAM baseline and once with
+// the generated routine.
+//
+//	go run ./examples/transpose
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"sync"
+
+	"github.com/aapc-sched/aapcsched/internal/alltoall"
+	"github.com/aapc-sched/aapcsched/internal/harness"
+	"github.com/aapc-sched/aapcsched/internal/mpi"
+	"github.com/aapc-sched/aapcsched/internal/mpi/mem"
+)
+
+const (
+	ranks = 6  // one per machine of the Fig. 1 cluster
+	dim   = 24 // matrix is dim x dim, dim % ranks == 0
+	block = dim / ranks
+)
+
+// element gives the deterministic value of matrix cell (r, c).
+func element(r, c int) uint32 { return uint32(r*1000 + c) }
+
+// transpose distributes the matrix, runs the all-to-all, and verifies that
+// this rank ends up with the correct row block of the transposed matrix.
+func transpose(c mpi.Comm, fn alltoall.Func) error {
+	me := c.Rank()
+	// Row block owned by this rank: rows me*block .. (me+1)*block-1.
+	// The send block for rank p holds my rows restricted to columns
+	// p*block .. (p+1)*block-1 — the sub-block that lands in p's rows after
+	// transposition.
+	msize := block * block * 4
+	b := alltoall.NewContig(ranks, msize)
+	for p := 0; p < ranks; p++ {
+		sb := b.SendBlock(p)
+		i := 0
+		for r := me * block; r < (me+1)*block; r++ {
+			for col := p * block; col < (p+1)*block; col++ {
+				binary.LittleEndian.PutUint32(sb[i:], element(r, col))
+				i += 4
+			}
+		}
+	}
+	if err := fn(c, b, msize); err != nil {
+		return err
+	}
+	// After the exchange, RecvBlock(p) holds rank p's rows restricted to my
+	// columns. Transposing each sub-block locally yields my rows of the
+	// transposed matrix: row r of Mᵀ is column r of M.
+	for p := 0; p < ranks; p++ {
+		rb := b.RecvBlock(p)
+		for i := 0; i < block; i++ { // row index within p's block: original row p*block+i
+			for j := 0; j < block; j++ { // column index within my block: original col me*block+j
+				got := binary.LittleEndian.Uint32(rb[(i*block+j)*4:])
+				// Cell (p*block+i, me*block+j) of M becomes cell
+				// (me*block+j, p*block+i) of Mᵀ, which this rank owns.
+				if want := element(p*block+i, me*block+j); got != want {
+					return fmt.Errorf("rank %d: Mᵀ[%d][%d] = %d, want %d",
+						me, me*block+j, p*block+i, got, want)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func main() {
+	g := harness.Fig1()
+	ours, err := harness.CompileRoutine(g, alltoall.PairwiseSync)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, entry := range []struct {
+		name string
+		fn   alltoall.Func
+	}{
+		{"LAM simple", alltoall.Simple},
+		{"generated routine", ours.Fn()},
+	} {
+		var once sync.Once
+		err := mem.Run(ranks, func(c mpi.Comm) error {
+			once.Do(func() {
+				fmt.Printf("transposing %dx%d matrix across %d ranks with %s...\n",
+					dim, dim, ranks, entry.name)
+			})
+			return transpose(c, entry.fn)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  transpose verified element-by-element: OK")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/aapc-sched/aapcsched
+
+go 1.22

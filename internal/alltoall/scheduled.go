@@ -1,0 +1,206 @@
+package alltoall
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/aapc-sched/aapcsched/internal/mpi"
+	"github.com/aapc-sched/aapcsched/internal/schedule"
+	"github.com/aapc-sched/aapcsched/internal/syncplan"
+)
+
+// SyncMode selects how the scheduled algorithm keeps its phases separated at
+// run time (Section 5 of the paper).
+type SyncMode int
+
+const (
+	// PairwiseSync inserts the minimal pair-wise synchronization messages
+	// computed by syncplan — the paper's scheme.
+	PairwiseSync SyncMode = iota
+	// BarrierSync separates every phase with a full barrier — the simple
+	// scheme the paper rejects for its overhead; kept as an ablation.
+	BarrierSync
+	// NoSync performs the phases with no separation at all: each rank works
+	// through its own sends in phase order but phases may drift across
+	// ranks, reintroducing contention. Ablation for what synchronization
+	// buys.
+	NoSync
+)
+
+// String names the mode.
+func (m SyncMode) String() string {
+	switch m {
+	case PairwiseSync:
+		return "pairwise"
+	case BarrierSync:
+		return "barrier"
+	case NoSync:
+		return "nosync"
+	default:
+		return fmt.Sprintf("SyncMode(%d)", int(m))
+	}
+}
+
+// syncRef identifies one synchronization message by peer rank and tag.
+type syncRef struct {
+	peer int
+	tag  int
+}
+
+// sendStep is one outgoing data message of a rank, with the control traffic
+// around it.
+type sendStep struct {
+	phase int
+	dst   int
+	// waitFor lists the sync messages that must arrive before sending.
+	waitFor []syncRef
+	// emit lists the sync messages to issue once the send completes.
+	emit []syncRef
+}
+
+// program is the per-rank execution plan compiled from a schedule.
+type program struct {
+	// recvSrcs lists the sources this rank receives from, in phase order.
+	recvSrcs []int
+	// sends lists this rank's outgoing messages in phase order.
+	sends []sendStep
+	// numPhases is the schedule's phase count (used by BarrierSync).
+	numPhases int
+}
+
+// Scheduled is the paper's contribution compiled to a runnable routine: a
+// topology-customized MPI_Alltoall that performs the contention-free phases
+// of a schedule, separated by the synchronization mode.
+//
+// Construct it once per (topology, schedule) with NewScheduled and reuse it
+// across runs and transports; Fn returns the algorithm function.
+type Scheduled struct {
+	mode     SyncMode
+	programs []program
+}
+
+// NewScheduled compiles a schedule and its synchronization plan into a
+// runnable algorithm. plan may be nil when mode is BarrierSync or NoSync.
+func NewScheduled(s *schedule.Schedule, plan *syncplan.Plan, mode SyncMode) (*Scheduled, error) {
+	if mode == PairwiseSync && plan == nil {
+		return nil, fmt.Errorf("alltoall: PairwiseSync requires a syncplan")
+	}
+	n := s.NumRanks
+	progs := make([]program, n)
+	for r := range progs {
+		progs[r].numPhases = len(s.Phases)
+	}
+	// Data messages in phase order.
+	for pi, phase := range s.Phases {
+		for _, m := range phase {
+			progs[m.Dst].recvSrcs = append(progs[m.Dst].recvSrcs, m.Src)
+			progs[m.Src].sends = append(progs[m.Src].sends, sendStep{phase: pi, dst: m.Dst})
+		}
+	}
+	for r := range progs {
+		sort.SliceStable(progs[r].sends, func(i, j int) bool {
+			return progs[r].sends[i].phase < progs[r].sends[j].phase
+		})
+	}
+	// Wire the synchronizations. The i-th sync of the (deterministically
+	// sorted) plan uses tag tagSync+i on both sides.
+	if mode == PairwiseSync {
+		stepOf := make(map[schedule.Message]*sendStep)
+		for r := range progs {
+			for i := range progs[r].sends {
+				st := &progs[r].sends[i]
+				stepOf[schedule.Message{Src: r, Dst: st.dst}] = st
+			}
+		}
+		for i, sy := range plan.Syncs {
+			after, ok := stepOf[sy.After]
+			if !ok {
+				return nil, fmt.Errorf("alltoall: sync refers to unscheduled message %v", sy.After)
+			}
+			before, ok := stepOf[sy.Before]
+			if !ok {
+				return nil, fmt.Errorf("alltoall: sync refers to unscheduled message %v", sy.Before)
+			}
+			after.emit = append(after.emit, syncRef{peer: sy.Before.Src, tag: tagSync + i})
+			before.waitFor = append(before.waitFor, syncRef{peer: sy.After.Src, tag: tagSync + i})
+		}
+	}
+	return &Scheduled{mode: mode, programs: progs}, nil
+}
+
+// Mode returns the synchronization mode the routine was compiled with.
+func (sc *Scheduled) Mode() SyncMode { return sc.mode }
+
+// NumRanks returns the world size the routine was compiled for.
+func (sc *Scheduled) NumRanks() int { return len(sc.programs) }
+
+// SyncCount returns the total number of synchronization messages the
+// compiled routine sends (0 unless PairwiseSync).
+func (sc *Scheduled) SyncCount() int {
+	total := 0
+	for _, p := range sc.programs {
+		for _, st := range p.sends {
+			total += len(st.emit)
+		}
+	}
+	return total
+}
+
+// Fn returns the algorithm function executing the compiled schedule.
+func (sc *Scheduled) Fn() Func {
+	return func(c mpi.Comm, b Buffers, msize int) error {
+		if c.Size() != len(sc.programs) {
+			return fmt.Errorf("alltoall: routine compiled for %d ranks, world has %d",
+				len(sc.programs), c.Size())
+		}
+		prog := &sc.programs[c.Rank()]
+		copySelf(c, b)
+
+		// Pre-post every data receive; ordering across sources is enforced
+		// by the senders, and tags distinguish nothing: each (src, dst)
+		// pair occurs exactly once.
+		recvReqs := make([]mpi.Request, len(prog.recvSrcs))
+		for i, src := range prog.recvSrcs {
+			recvReqs[i] = c.Irecv(b.RecvBlock(src), src, tagData)
+		}
+
+		var syncSends []mpi.Request
+		syncByte := []byte{1}
+		phase := 0
+		for _, st := range prog.sends {
+			if sc.mode == BarrierSync {
+				// Enter the send's phase, barrier-separated.
+				for phase < st.phase {
+					if err := c.Barrier(); err != nil {
+						return err
+					}
+					phase++
+				}
+			}
+			for _, w := range st.waitFor {
+				if err := mpi.Recv(c, make([]byte, 1), w.peer, w.tag); err != nil {
+					return fmt.Errorf("alltoall: sync wait from %d: %w", w.peer, err)
+				}
+			}
+			if err := mpi.Send(c, b.SendBlock(st.dst), st.dst, tagData); err != nil {
+				return fmt.Errorf("alltoall: send phase %d to %d: %w", st.phase, st.dst, err)
+			}
+			for _, e := range st.emit {
+				syncSends = append(syncSends, c.Isend(syncByte, e.peer, e.tag))
+			}
+		}
+		if sc.mode == BarrierSync {
+			// Ranks must participate in the remaining barriers even after
+			// their last send.
+			for ; phase < prog.numPhases-1; phase++ {
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+			}
+		}
+		if err := mpi.WaitAll(recvReqs); err != nil {
+			return err
+		}
+		return mpi.WaitAll(syncSends)
+	}
+}

@@ -1,0 +1,280 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/aapc-sched/aapcsched/internal/alltoall"
+	"github.com/aapc-sched/aapcsched/internal/mpi"
+	"github.com/aapc-sched/aapcsched/internal/schedule"
+	"github.com/aapc-sched/aapcsched/internal/simnet"
+	"github.com/aapc-sched/aapcsched/internal/syncplan"
+	"github.com/aapc-sched/aapcsched/internal/topology"
+)
+
+// Algorithm is a named MPI_Alltoall implementation that may be customized to
+// a topology (the paper's generated routines are; the baselines ignore it).
+type Algorithm struct {
+	// Name labels the algorithm in reports ("LAM", "MPICH", "Ours").
+	Name string
+	// Make builds the algorithm function for a cluster.
+	Make func(g *topology.Graph) (alltoall.Func, error)
+}
+
+// LAM is the original LAM/MPI all-to-all (the paper's first baseline).
+func LAM() Algorithm {
+	return Algorithm{Name: "LAM", Make: func(*topology.Graph) (alltoall.Func, error) {
+		return alltoall.Simple, nil
+	}}
+}
+
+// MPICHAlg is the improved MPICH all-to-all (the paper's second baseline).
+func MPICHAlg() Algorithm {
+	return Algorithm{Name: "MPICH", Make: func(*topology.Graph) (alltoall.Func, error) {
+		return alltoall.MPICH, nil
+	}}
+}
+
+// Ours is the paper's contribution: the automatically generated routine with
+// the given synchronization mode (PairwiseSync is the published scheme).
+func Ours(mode alltoall.SyncMode) Algorithm {
+	name := "Ours"
+	if mode != alltoall.PairwiseSync {
+		name = "Ours/" + mode.String()
+	}
+	return Algorithm{Name: name, Make: func(g *topology.Graph) (alltoall.Func, error) {
+		sc, err := CompileRoutine(g, mode)
+		if err != nil {
+			return nil, err
+		}
+		return sc.Fn(), nil
+	}}
+}
+
+// OursGreedy schedules with the greedy first-fit baseline instead of the
+// paper's construction — the ablation that isolates the value of the
+// load-optimal phase count.
+func OursGreedy() Algorithm {
+	return Algorithm{Name: "Ours/greedy", Make: func(g *topology.Graph) (alltoall.Func, error) {
+		s := schedule.BuildGreedy(g)
+		plan, err := syncplan.Build(g, s)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := alltoall.NewScheduled(s, plan, alltoall.PairwiseSync)
+		if err != nil {
+			return nil, err
+		}
+		return sc.Fn(), nil
+	}}
+}
+
+// CompileRoutine runs the full generation pipeline for a topology: schedule
+// construction, verification, synchronization planning, and compilation into
+// a runnable routine. This is the library entry point behind cmd/aapcgen.
+func CompileRoutine(g *topology.Graph, mode alltoall.SyncMode) (*alltoall.Scheduled, error) {
+	s, err := schedule.Build(g)
+	if err != nil {
+		return nil, fmt.Errorf("harness: scheduling: %w", err)
+	}
+	if err := schedule.Verify(g, s, true); err != nil {
+		return nil, fmt.Errorf("harness: generated schedule failed verification: %w", err)
+	}
+	var plan *syncplan.Plan
+	if mode == alltoall.PairwiseSync {
+		plan, err = syncplan.Build(g, s)
+		if err != nil {
+			return nil, fmt.Errorf("harness: synchronization planning: %w", err)
+		}
+	}
+	return alltoall.NewScheduled(s, plan, mode)
+}
+
+// Result is one measured cell of an evaluation table.
+type Result struct {
+	Algorithm string
+	Msize     int
+	// Seconds is the simulated completion time of one MPI_Alltoall.
+	Seconds float64
+	// ThroughputMbps is the aggregate throughput
+	// |M| * (|M|-1) * msize / Seconds, in megabits per second.
+	ThroughputMbps float64
+}
+
+// Experiment is one evaluation sweep: a set of algorithms across message
+// sizes on one topology, like each of Figs. 6-8.
+type Experiment struct {
+	Name       string
+	Graph      *topology.Graph
+	Msizes     []int
+	Algorithms []Algorithm
+	// Net overrides the simulator cost model; zero fields take simnet
+	// defaults. Net.Graph is set by Run.
+	Net simnet.Config
+	// Iterations invokes the routine this many times back to back and
+	// reports the mean per-invocation time, mirroring the paper's
+	// measurement procedure (10 iterations per execution). Consecutive
+	// invocations may pipeline, exactly as on the real cluster. Default 1.
+	Iterations int
+}
+
+// PaperMsizes are the message sizes of the paper's tables: 8 KB to 256 KB.
+var PaperMsizes = []int{8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10}
+
+// Report is the outcome of an experiment.
+type Report struct {
+	Name string
+	// Machines is |M|.
+	Machines int
+	// Load is the AAPC load of the topology.
+	Load int
+	// PeakMbps is the analytic peak aggregate throughput (the "Peak" line
+	// of the paper's throughput figures).
+	PeakMbps float64
+	// Msizes and Algorithms give the table axes in order.
+	Msizes     []int
+	Algorithms []string
+	// Rows holds one Result per (algorithm, msize).
+	Rows []Result
+}
+
+// Run measures every (algorithm, msize) cell on a fresh simulated world.
+// Simulation is deterministic, so a single invocation per cell is exact —
+// where the paper averages 10 iterations over 3 executions to tame real-
+// machine noise, the simulator has none.
+func (e *Experiment) Run() (*Report, error) {
+	if len(e.Msizes) == 0 {
+		e.Msizes = PaperMsizes
+	}
+	if len(e.Algorithms) == 0 {
+		e.Algorithms = []Algorithm{LAM(), MPICHAlg(), Ours(alltoall.PairwiseSync)}
+	}
+	net := e.Net
+	net.Graph = e.Graph
+	bw := net.LinkBandwidth
+	if bw == 0 {
+		bw = simnet.DefaultLinkBandwidth
+	}
+	m := e.Graph.NumMachines()
+	rep := &Report{
+		Name:     e.Name,
+		Machines: m,
+		Load:     e.Graph.AAPCLoad(),
+		PeakMbps: e.Graph.PeakAggregateThroughput(bw) * 8 / 1e6,
+		Msizes:   e.Msizes,
+	}
+	for _, alg := range e.Algorithms {
+		rep.Algorithms = append(rep.Algorithms, alg.Name)
+		fn, err := alg.Make(e.Graph)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", alg.Name, err)
+		}
+		for _, msize := range e.Msizes {
+			secs, err := MeasureIterations(net, fn, msize, e.Iterations)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s msize %d: %w", alg.Name, msize, err)
+			}
+			rep.Rows = append(rep.Rows, Result{
+				Algorithm:      alg.Name,
+				Msize:          msize,
+				Seconds:        secs,
+				ThroughputMbps: float64(m) * float64(m-1) * float64(msize) * 8 / secs / 1e6,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// Measure runs one all-to-all invocation of fn on a fresh simulated world
+// and returns the virtual completion time in seconds.
+func Measure(net simnet.Config, fn alltoall.Func, msize int) (float64, error) {
+	return MeasureIterations(net, fn, msize, 1)
+}
+
+// MeasureIterations invokes fn iterations times back to back on one world
+// and returns the mean per-invocation virtual time. iterations < 1 is
+// treated as 1.
+func MeasureIterations(net simnet.Config, fn alltoall.Func, msize, iterations int) (float64, error) {
+	if iterations < 1 {
+		iterations = 1
+	}
+	w, err := simnet.NewWorld(net)
+	if err != nil {
+		return 0, err
+	}
+	err = w.Run(func(c mpi.Comm) error {
+		b := alltoall.NewShared(msize)
+		for i := 0; i < iterations; i++ {
+			if err := fn(c, b, msize); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return w.Elapsed() / float64(iterations), nil
+}
+
+// Cell returns the result for an algorithm and message size.
+func (r *Report) Cell(alg string, msize int) (Result, bool) {
+	for _, row := range r.Rows {
+		if row.Algorithm == alg && row.Msize == msize {
+			return row, true
+		}
+	}
+	return Result{}, false
+}
+
+// MeasureTraced is Measure returning the run's flow records as well, for
+// timeline analysis with the trace package.
+func MeasureTraced(net simnet.Config, fn alltoall.Func, msize int) (float64, []simnet.FlowRecord, error) {
+	elapsed, records, _, err := MeasureTracedStats(net, fn, msize)
+	return elapsed, records, err
+}
+
+// MeasureTracedStats additionally returns per-link utilization statistics.
+func MeasureTracedStats(net simnet.Config, fn alltoall.Func, msize int) (float64, []simnet.FlowRecord, []simnet.LinkStats, error) {
+	w, err := simnet.NewWorld(net)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	err = w.Run(func(c mpi.Comm) error {
+		return fn(c, alltoall.NewShared(msize), msize)
+	})
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return w.Elapsed(), w.FlowTrace(), w.LinkStats(), nil
+}
+
+// OursWeighted is the heterogeneous-bandwidth extension: schedule selection
+// by weighted cost (schedule.BuildAuto) with capacity-aware pair-wise
+// synchronizations. On uniform clusters it is identical to Ours.
+func OursWeighted() Algorithm {
+	return Algorithm{Name: "Ours/weighted", Make: func(g *topology.Graph) (alltoall.Func, error) {
+		sc, err := CompileRoutineWeighted(g)
+		if err != nil {
+			return nil, err
+		}
+		return sc.Fn(), nil
+	}}
+}
+
+// CompileRoutineWeighted runs the capacity-aware generation pipeline for
+// heterogeneous clusters: weighted schedule selection, capacity
+// verification, and cross-phase-only synchronization planning.
+func CompileRoutineWeighted(g *topology.Graph) (*alltoall.Scheduled, error) {
+	s, err := schedule.BuildAuto(g)
+	if err != nil {
+		return nil, fmt.Errorf("harness: weighted scheduling: %w", err)
+	}
+	if err := schedule.VerifyCapacity(g, s); err != nil {
+		return nil, fmt.Errorf("harness: weighted schedule failed verification: %w", err)
+	}
+	plan, err := syncplan.BuildCapacityAware(g, s)
+	if err != nil {
+		return nil, fmt.Errorf("harness: capacity-aware synchronization planning: %w", err)
+	}
+	return alltoall.NewScheduled(s, plan, alltoall.PairwiseSync)
+}

@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatMsize renders a message size the way the paper's tables do: "8KB",
+// "256KB".
+func FormatMsize(msize int) string {
+	switch {
+	case msize >= 1<<20 && msize%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", msize>>20)
+	case msize >= 1<<10 && msize%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", msize>>10)
+	default:
+		return fmt.Sprintf("%dB", msize)
+	}
+}
+
+// formatTime renders a duration in seconds the way the paper's completion
+// tables do: milliseconds with sensible precision.
+func formatTime(secs float64) string {
+	ms := secs * 1e3
+	switch {
+	case ms >= 1000:
+		return fmt.Sprintf("%.0fms", ms)
+	case ms >= 100:
+		return fmt.Sprintf("%.1fms", ms)
+	default:
+		return fmt.Sprintf("%.2fms", ms)
+	}
+}
+
+// CompletionTable renders the "(a) Completion time" half of a paper figure:
+// one row per message size, one column per algorithm.
+func (r *Report) CompletionTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s", "msize")
+	for _, alg := range r.Algorithms {
+		fmt.Fprintf(&sb, " %12s", alg)
+	}
+	sb.WriteByte('\n')
+	for _, msize := range r.Msizes {
+		fmt.Fprintf(&sb, "%-8s", FormatMsize(msize))
+		for _, alg := range r.Algorithms {
+			if cell, ok := r.Cell(alg, msize); ok {
+				fmt.Fprintf(&sb, " %12s", formatTime(cell.Seconds))
+			} else {
+				fmt.Fprintf(&sb, " %12s", "-")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ThroughputTable renders the "(b) Aggregate throughput" half of a paper
+// figure as a table: the analytic peak plus one series per algorithm, in
+// Mbps.
+func (r *Report) ThroughputTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %12s", "msize", "Peak")
+	for _, alg := range r.Algorithms {
+		fmt.Fprintf(&sb, " %12s", alg)
+	}
+	sb.WriteByte('\n')
+	for _, msize := range r.Msizes {
+		fmt.Fprintf(&sb, "%-8s %12.1f", FormatMsize(msize), r.PeakMbps)
+		for _, alg := range r.Algorithms {
+			if cell, ok := r.Cell(alg, msize); ok {
+				fmt.Fprintf(&sb, " %12.1f", cell.ThroughputMbps)
+			} else {
+				fmt.Fprintf(&sb, " %12s", "-")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ThroughputPlot renders the throughput series as an ASCII chart shaped like
+// the paper's figure panels: message size on the x axis, aggregate Mbps on
+// the y axis.
+func (r *Report) ThroughputPlot(height int) string {
+	if height < 4 {
+		height = 12
+	}
+	maxY := r.PeakMbps
+	for _, row := range r.Rows {
+		if row.ThroughputMbps > maxY {
+			maxY = row.ThroughputMbps
+		}
+	}
+	cols := len(r.Msizes)
+	colw := 8
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols*colw))
+	}
+	put := func(col int, mbps float64, mark byte) {
+		row := int((mbps / maxY) * float64(height-1))
+		if row < 0 {
+			row = 0
+		}
+		if row > height-1 {
+			row = height - 1
+		}
+		x := col*colw + colw/2
+		y := height - 1 - row
+		if grid[y][x] == ' ' || grid[y][x] == '-' {
+			grid[y][x] = mark
+		}
+	}
+	marks := []byte{'O', 'M', 'L', 'G', 'B', 'N', 'X', 'Y'}
+	legend := make([]string, 0, len(r.Algorithms)+1)
+	for c := range r.Msizes {
+		put(c, r.PeakMbps, '-')
+	}
+	legend = append(legend, "- Peak")
+	for ai, alg := range r.Algorithms {
+		mark := marks[ai%len(marks)]
+		for c, msize := range r.Msizes {
+			if cell, ok := r.Cell(alg, msize); ok {
+				put(c, cell.ThroughputMbps, mark)
+			}
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", mark, alg))
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Aggregate throughput (Mbps), max %.0f\n", maxY)
+	for i, line := range grid {
+		label := ""
+		if i == 0 {
+			label = fmt.Sprintf("%6.0f", maxY)
+		} else if i == height-1 {
+			label = fmt.Sprintf("%6.0f", 0.0)
+		} else {
+			label = strings.Repeat(" ", 6)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&sb, "       +%s\n        ", strings.Repeat("-", cols*colw))
+	for _, msize := range r.Msizes {
+		fmt.Fprintf(&sb, "%-*s", colw, FormatMsize(msize))
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "  legend: %s\n", strings.Join(legend, "  "))
+	return sb.String()
+}
+
+// Summary renders the full paper-style figure: header, completion table and
+// throughput table.
+func (r *Report) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %d machines, AAPC load %d, peak %.1f Mbps ==\n",
+		r.Name, r.Machines, r.Load, r.PeakMbps)
+	sb.WriteString("(a) Completion time\n")
+	sb.WriteString(r.CompletionTable())
+	sb.WriteString("(b) Aggregate throughput (Mbps)\n")
+	sb.WriteString(r.ThroughputTable())
+	return sb.String()
+}
+
+// CSV renders the report as comma-separated rows for external plotting:
+// topology, algorithm, msize_bytes, seconds, mbps, peak_mbps.
+func (r *Report) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("topology,algorithm,msize_bytes,seconds,agg_mbps,peak_mbps\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%s,%s,%d,%.9g,%.6g,%.6g\n",
+			r.Name, row.Algorithm, row.Msize, row.Seconds, row.ThroughputMbps, r.PeakMbps)
+	}
+	return sb.String()
+}

@@ -1,0 +1,178 @@
+// Package mem provides an in-process mpi transport: all ranks live in one
+// address space and exchange real bytes through a matching engine. It is the
+// reference transport for functional correctness — if an all-to-all
+// algorithm produces the right permutation here, the algorithm logic is
+// right; performance behaviour is the simulator's job.
+package mem
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/aapc-sched/aapcsched/internal/mpi"
+)
+
+// World is a set of in-process communicator endpoints.
+type World struct {
+	n     int
+	start time.Time
+
+	mu      sync.Mutex
+	sends   map[matchKey][]*op
+	recvs   map[matchKey][]*op
+	barrier struct {
+		gen     int
+		waiting int
+		release chan struct{}
+	}
+}
+
+// matchKey identifies a send/receive rendezvous point. MPI ordering applies
+// per key: matching is FIFO between identical (src, dst, tag) triples.
+type matchKey struct {
+	src, dst, tag int
+}
+
+// op is one pending operation awaiting its match.
+type op struct {
+	buf  []byte
+	done chan error
+}
+
+// NewWorld creates a world of n in-process ranks and returns one
+// communicator per rank.
+func NewWorld(n int) []mpi.Comm {
+	if n < 1 {
+		panic(fmt.Sprintf("mem: world size %d", n))
+	}
+	w := &World{
+		n:     n,
+		start: time.Now(),
+		sends: make(map[matchKey][]*op),
+		recvs: make(map[matchKey][]*op),
+	}
+	w.barrier.release = make(chan struct{})
+	comms := make([]mpi.Comm, n)
+	for i := range comms {
+		comms[i] = &comm{w: w, rank: i}
+	}
+	return comms
+}
+
+// Run starts fn once per rank on its own goroutine and waits for all of
+// them, returning the first non-nil error.
+func Run(n int, fn func(c mpi.Comm) error) error {
+	comms := NewWorld(n)
+	errs := make(chan error, n)
+	for _, c := range comms {
+		go func(c mpi.Comm) { errs <- fn(c) }(c)
+	}
+	var first error
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+type comm struct {
+	w    *World
+	rank int
+}
+
+func (c *comm) Rank() int { return c.rank }
+func (c *comm) Size() int { return c.w.n }
+
+func (c *comm) Now() float64 { return time.Since(c.w.start).Seconds() }
+
+type request struct {
+	done chan error
+}
+
+func (r *request) Wait() error { return <-r.done }
+
+// errRequest is an already-failed request.
+type errRequest struct{ err error }
+
+func (r errRequest) Wait() error { return r.err }
+
+func (c *comm) Isend(buf []byte, dst, tag int) mpi.Request {
+	if err := mpi.CheckRank(c, dst); err != nil {
+		return errRequest{err}
+	}
+	key := matchKey{src: c.rank, dst: dst, tag: tag}
+	me := &op{buf: buf, done: make(chan error, 1)}
+
+	w := c.w
+	w.mu.Lock()
+	if q := w.recvs[key]; len(q) > 0 {
+		peer := q[0]
+		w.recvs[key] = q[1:]
+		n := copy(peer.buf, buf)
+		w.mu.Unlock()
+		if n < len(buf) {
+			err := fmt.Errorf("mem: send %d->%d tag %d truncated: receiver buffer %d < %d",
+				key.src, key.dst, key.tag, len(peer.buf), len(buf))
+			peer.done <- err
+			me.done <- err
+		} else {
+			peer.done <- nil
+			me.done <- nil
+		}
+		return &request{done: me.done}
+	}
+	w.sends[key] = append(w.sends[key], me)
+	w.mu.Unlock()
+	return &request{done: me.done}
+}
+
+func (c *comm) Irecv(buf []byte, src, tag int) mpi.Request {
+	if err := mpi.CheckRank(c, src); err != nil {
+		return errRequest{err}
+	}
+	key := matchKey{src: src, dst: c.rank, tag: tag}
+	me := &op{buf: buf, done: make(chan error, 1)}
+
+	w := c.w
+	w.mu.Lock()
+	if q := w.sends[key]; len(q) > 0 {
+		peer := q[0]
+		w.sends[key] = q[1:]
+		n := copy(buf, peer.buf)
+		w.mu.Unlock()
+		if n < len(peer.buf) {
+			err := fmt.Errorf("mem: send %d->%d tag %d truncated: receiver buffer %d < %d",
+				key.src, key.dst, key.tag, len(buf), len(peer.buf))
+			peer.done <- err
+			me.done <- err
+		} else {
+			peer.done <- nil
+			me.done <- nil
+		}
+		return &request{done: me.done}
+	}
+	w.recvs[key] = append(w.recvs[key], me)
+	w.mu.Unlock()
+	return &request{done: me.done}
+}
+
+func (c *comm) Barrier() error {
+	w := c.w
+	w.mu.Lock()
+	w.barrier.waiting++
+	if w.barrier.waiting == w.n {
+		// Last arrival releases everyone and resets for the next round.
+		close(w.barrier.release)
+		w.barrier.release = make(chan struct{})
+		w.barrier.waiting = 0
+		w.barrier.gen++
+		w.mu.Unlock()
+		return nil
+	}
+	release := w.barrier.release
+	w.mu.Unlock()
+	<-release
+	return nil
+}

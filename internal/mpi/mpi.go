@@ -1,0 +1,99 @@
+// Package mpi defines the message-passing substrate the AAPC algorithms are
+// written against: a deliberately small subset of MPI point-to-point
+// semantics (nonblocking send/receive with tag matching, waiting, and a
+// barrier).
+//
+// The paper's automatically generated MPI_Alltoall routines are built on MPI
+// point-to-point primitives; this package plays the role of that layer. Three
+// implementations exist:
+//
+//   - mpi/mem: in-process transport over shared memory; real byte movement,
+//     used for functional correctness tests and the examples.
+//   - mpi/tcp: loopback TCP sockets (one connection per rank pair); the
+//     closest runnable analogue of the paper's LAM/MPI-over-Ethernet stack.
+//   - simnet: a discrete-event fluid network simulator with virtual time,
+//     used to reproduce the paper's performance evaluation.
+//
+// Algorithms written once against Comm run on all three.
+package mpi
+
+import "fmt"
+
+// AnyTag is not supported: all receives match an explicit (source, tag)
+// pair. The constant exists to document that choice.
+const AnyTag = -1
+
+// Request is an in-flight nonblocking operation.
+type Request interface {
+	// Wait blocks until the operation completes and returns its error.
+	// Wait may be called at most once per request.
+	Wait() error
+}
+
+// Comm is a communicator: the endpoint of one rank within a world of Size
+// ranks. Implementations must be safe for use by the owning rank's
+// goroutine; a Comm must not be shared between goroutines.
+type Comm interface {
+	// Rank returns this endpoint's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks in the world.
+	Size() int
+	// Isend starts a nonblocking send of buf to rank dst with the given
+	// tag. The buffer must not be modified until the request completes.
+	Isend(buf []byte, dst, tag int) Request
+	// Irecv starts a nonblocking receive into buf from rank src with the
+	// given tag. Completion copies min(len(buf), len(sent)) bytes.
+	Irecv(buf []byte, src, tag int) Request
+	// Barrier blocks until every rank of the world has entered it.
+	Barrier() error
+	// Now returns the communicator's notion of elapsed time in seconds:
+	// wall-clock time for real transports, virtual time for the simulator.
+	Now() float64
+}
+
+// Send is a blocking send: Isend immediately waited.
+func Send(c Comm, buf []byte, dst, tag int) error {
+	return c.Isend(buf, dst, tag).Wait()
+}
+
+// Recv is a blocking receive: Irecv immediately waited.
+func Recv(c Comm, buf []byte, src, tag int) error {
+	return c.Irecv(buf, src, tag).Wait()
+}
+
+// Sendrecv performs a blocking simultaneous send and receive, the workhorse
+// of pairwise-exchange algorithms.
+func Sendrecv(c Comm, sendBuf []byte, dst, sendTag int, recvBuf []byte, src, recvTag int) error {
+	rr := c.Irecv(recvBuf, src, recvTag)
+	sr := c.Isend(sendBuf, dst, sendTag)
+	if err := sr.Wait(); err != nil {
+		// Drain the receive to keep the transport consistent before
+		// reporting the send failure.
+		_ = rr.Wait()
+		return err
+	}
+	return rr.Wait()
+}
+
+// WaitAll waits for every request and returns the first error encountered,
+// after waiting for all of them.
+func WaitAll(reqs []Request) error {
+	var first error
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// CheckRank validates a peer rank against the world size.
+func CheckRank(c Comm, peer int) error {
+	if peer < 0 || peer >= c.Size() {
+		return fmt.Errorf("mpi: rank %d out of range [0, %d)", peer, c.Size())
+	}
+	return nil
+}

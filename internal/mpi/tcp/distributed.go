@@ -1,0 +1,411 @@
+package tcp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/aapc-sched/aapcsched/internal/mpi"
+)
+
+// Distributed mode: each rank lives in its own process (or goroutine) and
+// finds its peers through a rendezvous coordinator, after which the ranks
+// form a full TCP mesh exactly like the in-process World. This is the
+// deployable analogue of an MPI launcher: start a coordinator for n ranks,
+// start n processes that Join it, and run any algorithm over the returned
+// Comm.
+//
+// Rendezvous protocol (all integers little-endian uint32, strings
+// length-prefixed):
+//
+//  1. Each joiner opens its own listener, dials the coordinator and sends
+//     its listener address.
+//  2. After n joiners, the coordinator assigns ranks in arrival order and
+//     sends every joiner its rank, the world size, and all addresses.
+//  3. Joiner r dials every peer p < r (sending the usual from/to
+//     handshake) and accepts connections from every peer p > r.
+
+// Coordinator is the rendezvous point for one distributed world.
+type Coordinator struct {
+	ln   net.Listener
+	n    int
+	done chan error
+}
+
+// StartCoordinator listens on addr (e.g. "127.0.0.1:0") for a world of n
+// ranks. It returns immediately; rendezvous proceeds in the background and
+// Wait reports its outcome.
+func StartCoordinator(addr string, n int) (*Coordinator, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("tcp: coordinator world size %d", n)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{ln: ln, n: n, done: make(chan error, 1)}
+	go c.serve()
+	return c, nil
+}
+
+// Addr returns the coordinator's listen address for joiners.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Wait blocks until every rank has been given the address book (or the
+// rendezvous failed) and returns the outcome.
+func (c *Coordinator) Wait() error { return <-c.done }
+
+// Close stops the coordinator's listener.
+func (c *Coordinator) Close() error { return c.ln.Close() }
+
+func (c *Coordinator) serve() {
+	defer c.ln.Close()
+	type joiner struct {
+		conn net.Conn
+		addr string
+	}
+	joiners := make([]joiner, 0, c.n)
+	for len(joiners) < c.n {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			c.done <- fmt.Errorf("tcp: coordinator accept: %w", err)
+			return
+		}
+		addr, err := readString(conn)
+		if err != nil {
+			conn.Close()
+			c.done <- fmt.Errorf("tcp: coordinator handshake: %w", err)
+			return
+		}
+		joiners = append(joiners, joiner{conn: conn, addr: addr})
+	}
+	for rank, j := range joiners {
+		if err := writeUint32(j.conn, uint32(rank)); err != nil {
+			c.done <- err
+			return
+		}
+		if err := writeUint32(j.conn, uint32(c.n)); err != nil {
+			c.done <- err
+			return
+		}
+		for _, peer := range joiners {
+			if err := writeString(j.conn, peer.addr); err != nil {
+				c.done <- err
+				return
+			}
+		}
+		j.conn.Close()
+	}
+	c.done <- nil
+}
+
+// Join connects this process to a distributed world through the coordinator
+// and returns its communicator once the full mesh is up. The cleanup
+// function closes all sockets.
+func Join(coordAddr string) (mpi.Comm, func() error, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	coord, err := net.Dial("tcp", coordAddr)
+	if err != nil {
+		ln.Close()
+		return nil, nil, err
+	}
+	if err := writeString(coord, ln.Addr().String()); err != nil {
+		ln.Close()
+		coord.Close()
+		return nil, nil, err
+	}
+	rank32, err := readUint32(coord)
+	if err != nil {
+		ln.Close()
+		coord.Close()
+		return nil, nil, err
+	}
+	n32, err := readUint32(coord)
+	if err != nil {
+		ln.Close()
+		coord.Close()
+		return nil, nil, err
+	}
+	rank, n := int(rank32), int(n32)
+	addrs := make([]string, n)
+	for i := range addrs {
+		if addrs[i], err = readString(coord); err != nil {
+			ln.Close()
+			coord.Close()
+			return nil, nil, err
+		}
+	}
+	coord.Close()
+
+	ep := &endpoint{
+		rank:  rank,
+		n:     n,
+		start: time.Now(),
+		conns: make([]net.Conn, n),
+		outq:  make([]*outQueue, n),
+		matcher: &matcher{
+			arrived: make(map[matchKey][][]byte),
+			posted:  make(map[matchKey][]*recvOp),
+		},
+	}
+	for p := range ep.outq {
+		ep.outq[p] = &outQueue{}
+	}
+
+	// Dial lower ranks; accept higher ranks. Run both sides concurrently to
+	// avoid rendezvous ordering deadlocks.
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for p := 0; p < rank; p++ {
+			conn, err := net.Dial("tcp", addrs[p])
+			if err != nil {
+				errs <- fmt.Errorf("tcp: rank %d dialing %d: %w", rank, p, err)
+				return
+			}
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], uint32(rank))
+			binary.LittleEndian.PutUint32(hdr[4:8], uint32(p))
+			if _, err := conn.Write(hdr[:]); err != nil {
+				errs <- err
+				return
+			}
+			ep.conns[p] = conn
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n-1-rank; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				errs <- fmt.Errorf("tcp: rank %d accepting: %w", rank, err)
+				return
+			}
+			var hdr [8]byte
+			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+				errs <- err
+				return
+			}
+			from := int(binary.LittleEndian.Uint32(hdr[0:4]))
+			to := int(binary.LittleEndian.Uint32(hdr[4:8]))
+			if to != rank || from <= rank || from >= n {
+				errs <- fmt.Errorf("tcp: rank %d: bad mesh handshake %d->%d", rank, from, to)
+				return
+			}
+			ep.conns[from] = conn
+		}
+	}()
+	wg.Wait()
+	ln.Close()
+	select {
+	case err := <-errs:
+		ep.close()
+		return nil, nil, err
+	default:
+	}
+	for p, conn := range ep.conns {
+		if p != rank {
+			go ep.readLoop(conn, p)
+		}
+	}
+	return &distComm{ep: ep}, ep.close, nil
+}
+
+// endpoint is one rank's half of a distributed mesh. It reuses the frame
+// format, matcher and ordered outbound queues of the in-process World.
+type endpoint struct {
+	rank, n int
+	start   time.Time
+	conns   []net.Conn
+	outq    []*outQueue
+	matcher *matcher
+
+	closeOnce sync.Once
+}
+
+func (ep *endpoint) close() error {
+	ep.closeOnce.Do(func() {
+		for _, c := range ep.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	})
+	return nil
+}
+
+func (ep *endpoint) readLoop(conn net.Conn, p int) {
+	for {
+		var hdr [headerLen]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			ep.matcher.fail(p, fmt.Errorf("tcp: rank %d reading from %d: %w", ep.rank, p, err))
+			return
+		}
+		tag := int(int64(binary.LittleEndian.Uint64(hdr[0:8])))
+		size := int(int64(binary.LittleEndian.Uint64(hdr[8:16])))
+		if size < 0 || size > 1<<30 {
+			ep.matcher.fail(p, fmt.Errorf("tcp: rank %d: bad frame size %d from %d", ep.rank, size, p))
+			return
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			ep.matcher.fail(p, fmt.Errorf("tcp: rank %d reading payload from %d: %w", ep.rank, p, err))
+			return
+		}
+		ep.matcher.deliver(matchKey{src: p, tag: tag}, payload)
+	}
+}
+
+func (ep *endpoint) drain(p int) {
+	q := ep.outq[p]
+	conn := ep.conns[p]
+	for {
+		q.mu.Lock()
+		if len(q.frames) == 0 {
+			q.draining = false
+			q.mu.Unlock()
+			return
+		}
+		fr := q.frames[0]
+		q.frames = q.frames[1:]
+		q.mu.Unlock()
+
+		var hdr [headerLen]byte
+		binary.LittleEndian.PutUint64(hdr[0:8], uint64(int64(fr.tag)))
+		binary.LittleEndian.PutUint64(hdr[8:16], uint64(int64(len(fr.buf))))
+		if _, err := conn.Write(hdr[:]); err != nil {
+			fr.done <- err
+			continue
+		}
+		_, err := conn.Write(fr.buf)
+		fr.done <- err
+	}
+}
+
+// distComm adapts an endpoint to mpi.Comm.
+type distComm struct {
+	ep         *endpoint
+	barrierGen int
+}
+
+func (c *distComm) Rank() int    { return c.ep.rank }
+func (c *distComm) Size() int    { return c.ep.n }
+func (c *distComm) Now() float64 { return time.Since(c.ep.start).Seconds() }
+
+func (c *distComm) isend(buf []byte, dst, tag int) mpi.Request {
+	if err := mpi.CheckRank(c, dst); err != nil {
+		return errRequest{err}
+	}
+	if dst == c.ep.rank {
+		payload := append([]byte(nil), buf...)
+		c.ep.matcher.deliver(matchKey{src: dst, tag: tag}, payload)
+		return errRequest{nil}
+	}
+	fr := &outFrame{tag: tag, buf: buf, done: make(chan error, 1)}
+	q := c.ep.outq[dst]
+	q.mu.Lock()
+	q.frames = append(q.frames, fr)
+	if !q.draining {
+		q.draining = true
+		go c.ep.drain(dst)
+	}
+	q.mu.Unlock()
+	return chanRequest{done: fr.done}
+}
+
+func (c *distComm) Isend(buf []byte, dst, tag int) mpi.Request {
+	if tag < 0 {
+		return errRequest{fmt.Errorf("tcp: negative tag %d is reserved", tag)}
+	}
+	return c.isend(buf, dst, tag)
+}
+
+func (c *distComm) irecv(buf []byte, src, tag int) mpi.Request {
+	if err := mpi.CheckRank(c, src); err != nil {
+		return errRequest{err}
+	}
+	op := &recvOp{buf: buf, done: make(chan error, 1)}
+	c.ep.matcher.post(matchKey{src: src, tag: tag}, op)
+	return chanRequest{done: op.done}
+}
+
+func (c *distComm) Irecv(buf []byte, src, tag int) mpi.Request {
+	if tag < 0 {
+		return errRequest{fmt.Errorf("tcp: negative tag %d is reserved", tag)}
+	}
+	return c.irecv(buf, src, tag)
+}
+
+// Barrier is the same dissemination barrier as the in-process transport.
+func (c *distComm) Barrier() error {
+	n := c.ep.n
+	if n == 1 {
+		return nil
+	}
+	gen := c.barrierGen
+	c.barrierGen++
+	round := 0
+	for dist := 1; dist < n; dist <<= 1 {
+		tag := -(gen*64 + round + 1)
+		dst := (c.ep.rank + dist) % n
+		src := (c.ep.rank - dist + n) % n
+		sr := c.isend(nil, dst, tag)
+		rr := c.irecv(nil, src, tag)
+		if err := sr.Wait(); err != nil {
+			return err
+		}
+		if err := rr.Wait(); err != nil {
+			return err
+		}
+		round++
+	}
+	return nil
+}
+
+// Wire helpers.
+
+func writeUint32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readUint32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeUint32(w, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	n, err := readUint32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 4096 {
+		return "", fmt.Errorf("tcp: unreasonable string length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

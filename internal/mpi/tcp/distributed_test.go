@@ -1,0 +1,192 @@
+package tcp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/aapc-sched/aapcsched/internal/alltoall"
+	"github.com/aapc-sched/aapcsched/internal/harness"
+	"github.com/aapc-sched/aapcsched/internal/mpi"
+)
+
+// joinWorld starts a coordinator and joins n endpoints concurrently (each
+// standing in for a separate process: Join uses only real sockets, no shared
+// memory).
+func joinWorld(t *testing.T, n int) ([]mpi.Comm, func()) {
+	t.Helper()
+	coord, err := StartCoordinator("127.0.0.1:0", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms := make([]mpi.Comm, n)
+	closers := make([]func() error, n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, closeFn, err := Join(coord.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			// Ranks are assigned in arrival order; index by rank.
+			comms[c.Rank()] = c
+			closers[c.Rank()] = closeFn
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if err := coord.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	cleanup := func() {
+		for _, fn := range closers {
+			if fn != nil {
+				fn()
+			}
+		}
+	}
+	for r, c := range comms {
+		if c == nil || c.Rank() != r || c.Size() != n {
+			cleanup()
+			t.Fatalf("rank assignment broken: %v", comms)
+		}
+	}
+	return comms, cleanup
+}
+
+func TestDistributedSendRecv(t *testing.T) {
+	comms, cleanup := joinWorld(t, 3)
+	defer cleanup()
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	for _, c := range comms {
+		wg.Add(1)
+		go func(c mpi.Comm) {
+			defer wg.Done()
+			next := (c.Rank() + 1) % 3
+			prev := (c.Rank() + 2) % 3
+			out := []byte{byte(c.Rank())}
+			in := make([]byte, 1)
+			if err := mpi.Sendrecv(c, out, next, 4, in, prev, 4); err != nil {
+				errs <- err
+				return
+			}
+			if in[0] != byte(prev) {
+				errs <- fmt.Errorf("rank %d got %d, want %d", c.Rank(), in[0], prev)
+			}
+		}(c)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestDistributedBarrierAndSelf(t *testing.T) {
+	comms, cleanup := joinWorld(t, 4)
+	defer cleanup()
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for _, c := range comms {
+		wg.Add(1)
+		go func(c mpi.Comm) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				if err := c.Barrier(); err != nil {
+					errs <- err
+					return
+				}
+			}
+			// Self message through the endpoint matcher.
+			r := c.Irecv(make([]byte, 2), c.Rank(), 1)
+			if err := mpi.Send(c, []byte("ok"), c.Rank(), 1); err != nil {
+				errs <- err
+				return
+			}
+			errs <- r.Wait()
+		}(c)
+	}
+	wg.Wait()
+	for i := 0; i < 4; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDistributedScheduledAlltoall runs the paper's generated routine across
+// the distributed mesh with full data verification — the deployable
+// configuration end to end.
+func TestDistributedScheduledAlltoall(t *testing.T) {
+	g := harness.Fig1()
+	routine, err := harness.CompileRoutine(g, alltoall.PairwiseSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	const msize = 1024
+	comms, cleanup := joinWorld(t, n)
+	defer cleanup()
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for _, c := range comms {
+		wg.Add(1)
+		go func(c mpi.Comm) {
+			defer wg.Done()
+			b := alltoall.NewContig(n, msize)
+			for dst := 0; dst < n; dst++ {
+				blk := b.SendBlock(dst)
+				for i := range blk {
+					blk[i] = byte(c.Rank()*31 + dst*7 + i)
+				}
+			}
+			if err := routine.Fn()(c, b, msize); err != nil {
+				errs <- err
+				return
+			}
+			for src := 0; src < n; src++ {
+				blk := b.RecvBlock(src)
+				for i := range blk {
+					if blk[i] != byte(src*31+c.Rank()*7+i) {
+						errs <- fmt.Errorf("rank %d: bad byte from %d", c.Rank(), src)
+						return
+					}
+				}
+			}
+			errs <- nil
+		}(c)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	if _, err := StartCoordinator("127.0.0.1:0", 0); err == nil {
+		t.Error("want error for zero-rank world")
+	}
+	if _, _, err := Join("127.0.0.1:1"); err == nil {
+		t.Error("want error joining a dead coordinator")
+	}
+}
+
+func TestDistributedSingleRank(t *testing.T) {
+	comms, cleanup := joinWorld(t, 1)
+	defer cleanup()
+	if err := comms[0].Barrier(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,429 @@
+// Package tcp provides an mpi transport over real loopback TCP sockets: one
+// connection per rank pair, length-prefixed frames, and a dissemination
+// barrier built from the transport's own messages. Among the repository's
+// transports it is the closest analogue to the paper's LAM/MPI-over-Ethernet
+// stack — bytes really cross the kernel's network path — while still running
+// in a single process.
+//
+// User tags must be non-negative; negative tags are reserved for the
+// barrier protocol.
+package tcp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/aapc-sched/aapcsched/internal/mpi"
+)
+
+// World is a set of ranks connected pairwise by loopback TCP.
+type World struct {
+	n     int
+	start time.Time
+	// conns[r][p] is rank r's connection to peer p (nil on the diagonal).
+	conns [][]net.Conn
+	// outq[r][p] is rank r's ordered outbound frame queue toward peer p.
+	outq     [][]*outQueue
+	matchers []*matcher
+	listener net.Listener
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// frame header: tag (int64) + payload length (int64).
+const headerLen = 16
+
+// matcher pairs incoming frames with posted receives for one rank.
+type matcher struct {
+	mu sync.Mutex
+	// arrived holds frames with no posted receive yet, FIFO per key.
+	arrived map[matchKey][][]byte
+	// posted holds receives with no arrived frame yet, FIFO per key.
+	posted map[matchKey][]*recvOp
+	// srcErr holds sticky per-source transport errors: a dead peer fails
+	// only the receives naming it, not traffic from healthy peers.
+	srcErr map[int]error
+}
+
+type matchKey struct {
+	src int
+	tag int
+}
+
+type recvOp struct {
+	buf  []byte
+	done chan error
+}
+
+// outFrame is one queued outbound message.
+type outFrame struct {
+	tag  int
+	buf  []byte
+	done chan error
+}
+
+// outQueue orders a rank's outbound frames toward one peer.
+type outQueue struct {
+	mu       sync.Mutex
+	frames   []*outFrame
+	draining bool
+}
+
+// NewWorld builds an n-rank world over loopback TCP. The returned cleanup
+// function closes every socket; it must be called exactly once.
+func NewWorld(n int) ([]mpi.Comm, func() error, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("tcp: world size %d", n)
+	}
+	w := &World{n: n, start: time.Now()}
+	w.conns = make([][]net.Conn, n)
+	w.outq = make([][]*outQueue, n)
+	w.matchers = make([]*matcher, n)
+	for r := 0; r < n; r++ {
+		w.conns[r] = make([]net.Conn, n)
+		w.outq[r] = make([]*outQueue, n)
+		for p := 0; p < n; p++ {
+			w.outq[r][p] = &outQueue{}
+		}
+		w.matchers[r] = &matcher{
+			arrived: make(map[matchKey][][]byte),
+			posted:  make(map[matchKey][]*recvOp),
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	w.listener = ln
+
+	// Establish one connection per pair: the higher rank dials, sending an
+	// 8-byte (from, to) handshake; the accept loop routes accordingly.
+	type accepted struct {
+		conn net.Conn
+		from int
+		to   int
+		err  error
+	}
+	pairs := n * (n - 1) / 2
+	acceptCh := make(chan accepted, pairs)
+	go func() {
+		for i := 0; i < pairs; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptCh <- accepted{err: err}
+				return
+			}
+			var hdr [8]byte
+			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+				acceptCh <- accepted{err: err}
+				return
+			}
+			acceptCh <- accepted{
+				conn: conn,
+				from: int(binary.LittleEndian.Uint32(hdr[0:4])),
+				to:   int(binary.LittleEndian.Uint32(hdr[4:8])),
+			}
+		}
+	}()
+	for hi := 1; hi < n; hi++ {
+		for lo := 0; lo < hi; lo++ {
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				w.close()
+				return nil, nil, err
+			}
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], uint32(hi))
+			binary.LittleEndian.PutUint32(hdr[4:8], uint32(lo))
+			if _, err := conn.Write(hdr[:]); err != nil {
+				w.close()
+				return nil, nil, err
+			}
+			w.conns[hi][lo] = conn
+		}
+	}
+	for i := 0; i < pairs; i++ {
+		a := <-acceptCh
+		if a.err != nil {
+			w.close()
+			return nil, nil, a.err
+		}
+		if a.from < 0 || a.from >= n || a.to < 0 || a.to >= n {
+			w.close()
+			return nil, nil, fmt.Errorf("tcp: bad handshake %d->%d", a.from, a.to)
+		}
+		w.conns[a.to][a.from] = a.conn
+	}
+
+	// One reader goroutine per (rank, peer) connection end.
+	for r := 0; r < n; r++ {
+		for p := 0; p < n; p++ {
+			if r != p {
+				go w.readLoop(r, p)
+			}
+		}
+	}
+
+	comms := make([]mpi.Comm, n)
+	for r := range comms {
+		comms[r] = &comm{w: w, rank: r}
+	}
+	return comms, w.close, nil
+}
+
+func (w *World) close() error {
+	w.closeOnce.Do(func() {
+		if w.listener != nil {
+			w.closeErr = w.listener.Close()
+		}
+		for _, row := range w.conns {
+			for _, c := range row {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}
+	})
+	return w.closeErr
+}
+
+// readLoop receives frames sent by peer p to rank r.
+func (w *World) readLoop(r, p int) {
+	conn := w.conns[r][p]
+	m := w.matchers[r]
+	for {
+		var hdr [headerLen]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			m.fail(p, fmt.Errorf("tcp: rank %d reading from %d: %w", r, p, err))
+			return
+		}
+		tag := int(int64(binary.LittleEndian.Uint64(hdr[0:8])))
+		size := int(int64(binary.LittleEndian.Uint64(hdr[8:16])))
+		if size < 0 || size > 1<<30 {
+			m.fail(p, fmt.Errorf("tcp: rank %d: bad frame size %d from %d", r, size, p))
+			return
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			m.fail(p, fmt.Errorf("tcp: rank %d reading payload from %d: %w", r, p, err))
+			return
+		}
+		m.deliver(matchKey{src: p, tag: tag}, payload)
+	}
+}
+
+// fail records a transport failure for one source: every pending and
+// future receive from that source errors out; other sources are unaffected.
+func (m *matcher) fail(src int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.srcErr == nil {
+		m.srcErr = make(map[int]error)
+	}
+	if m.srcErr[src] != nil {
+		return
+	}
+	m.srcErr[src] = err
+	for key, q := range m.posted {
+		if key.src != src {
+			continue
+		}
+		for _, op := range q {
+			op.done <- err
+		}
+		delete(m.posted, key)
+	}
+}
+
+// deliver hands an arrived frame to a posted receive or queues it.
+func (m *matcher) deliver(key matchKey, payload []byte) {
+	m.mu.Lock()
+	if q := m.posted[key]; len(q) > 0 {
+		op := q[0]
+		m.posted[key] = q[1:]
+		m.mu.Unlock()
+		op.done <- copyPayload(op.buf, payload)
+		return
+	}
+	m.arrived[key] = append(m.arrived[key], payload)
+	m.mu.Unlock()
+}
+
+// post registers a receive, matching an already-arrived frame if any.
+// Frames that arrived before the source died still match.
+func (m *matcher) post(key matchKey, op *recvOp) {
+	m.mu.Lock()
+	if q := m.arrived[key]; len(q) > 0 {
+		payload := q[0]
+		m.arrived[key] = q[1:]
+		m.mu.Unlock()
+		op.done <- copyPayload(op.buf, payload)
+		return
+	}
+	if err := m.srcErr[key.src]; err != nil {
+		m.mu.Unlock()
+		op.done <- err
+		return
+	}
+	m.posted[key] = append(m.posted[key], op)
+	m.mu.Unlock()
+}
+
+func copyPayload(dst, src []byte) error {
+	if copy(dst, src) < len(src) {
+		return fmt.Errorf("tcp: message truncated: receiver buffer %d < %d", len(dst), len(src))
+	}
+	return nil
+}
+
+// comm is one rank's endpoint.
+type comm struct {
+	w    *World
+	rank int
+	// barrierGen counts this rank's completed barriers, keeping the
+	// reserved tags of successive barriers distinct.
+	barrierGen int
+}
+
+func (c *comm) Rank() int    { return c.rank }
+func (c *comm) Size() int    { return c.w.n }
+func (c *comm) Now() float64 { return time.Since(c.w.start).Seconds() }
+
+type chanRequest struct{ done chan error }
+
+func (r chanRequest) Wait() error { return <-r.done }
+
+type errRequest struct{ err error }
+
+func (r errRequest) Wait() error { return r.err }
+
+// isend frames and writes buf to dst without blocking the caller. Frames
+// for one destination are written by a single drainer in enqueue order, so
+// MPI's non-overtaking guarantee holds per (source, destination, tag).
+func (c *comm) isend(buf []byte, dst, tag int) mpi.Request {
+	if err := mpi.CheckRank(c, dst); err != nil {
+		return errRequest{err}
+	}
+	if dst == c.rank {
+		// Self-send: loop through the matcher directly.
+		payload := append([]byte(nil), buf...)
+		c.w.matchers[c.rank].deliver(matchKey{src: c.rank, tag: tag}, payload)
+		return errRequest{nil}
+	}
+	fr := &outFrame{tag: tag, buf: buf, done: make(chan error, 1)}
+	q := c.w.outq[c.rank][dst]
+	q.mu.Lock()
+	q.frames = append(q.frames, fr)
+	if !q.draining {
+		q.draining = true
+		go c.w.drain(c.rank, dst)
+	}
+	q.mu.Unlock()
+	return chanRequest{done: fr.done}
+}
+
+// drain writes queued frames for (r -> p) in order until the queue empties.
+func (w *World) drain(r, p int) {
+	q := w.outq[r][p]
+	conn := w.conns[r][p]
+	for {
+		q.mu.Lock()
+		if len(q.frames) == 0 {
+			q.draining = false
+			q.mu.Unlock()
+			return
+		}
+		fr := q.frames[0]
+		q.frames = q.frames[1:]
+		q.mu.Unlock()
+
+		var hdr [headerLen]byte
+		binary.LittleEndian.PutUint64(hdr[0:8], uint64(int64(fr.tag)))
+		binary.LittleEndian.PutUint64(hdr[8:16], uint64(int64(len(fr.buf))))
+		if _, err := conn.Write(hdr[:]); err != nil {
+			fr.done <- err
+			continue
+		}
+		_, err := conn.Write(fr.buf)
+		fr.done <- err
+	}
+}
+
+func (c *comm) Isend(buf []byte, dst, tag int) mpi.Request {
+	if tag < 0 {
+		return errRequest{fmt.Errorf("tcp: negative tag %d is reserved", tag)}
+	}
+	return c.isend(buf, dst, tag)
+}
+
+func (c *comm) irecv(buf []byte, src, tag int) mpi.Request {
+	if err := mpi.CheckRank(c, src); err != nil {
+		return errRequest{err}
+	}
+	op := &recvOp{buf: buf, done: make(chan error, 1)}
+	c.w.matchers[c.rank].post(matchKey{src: src, tag: tag}, op)
+	return chanRequest{done: op.done}
+}
+
+func (c *comm) Irecv(buf []byte, src, tag int) mpi.Request {
+	if tag < 0 {
+		return errRequest{fmt.Errorf("tcp: negative tag %d is reserved", tag)}
+	}
+	return c.irecv(buf, src, tag)
+}
+
+// Barrier runs a dissemination barrier over the transport itself:
+// ceil(log2 n) rounds, each rank signalling rank+2^k and waiting for
+// rank-2^k, with reserved negative tags per generation and round.
+func (c *comm) Barrier() error {
+	n := c.w.n
+	if n == 1 {
+		return nil
+	}
+	gen := c.barrierGen
+	c.barrierGen++
+	round := 0
+	for dist := 1; dist < n; dist <<= 1 {
+		tag := -(gen*64 + round + 1)
+		dst := (c.rank + dist) % n
+		src := (c.rank - dist + n) % n
+		sr := c.isend(nil, dst, tag)
+		rr := c.irecv(nil, src, tag)
+		if err := sr.Wait(); err != nil {
+			return err
+		}
+		if err := rr.Wait(); err != nil {
+			return err
+		}
+		round++
+	}
+	return nil
+}
+
+// Run builds a TCP world, executes fn once per rank, tears the sockets
+// down, and returns the first error.
+func Run(n int, fn func(c mpi.Comm) error) error {
+	comms, closeWorld, err := NewWorld(n)
+	if err != nil {
+		return err
+	}
+	errs := make(chan error, n)
+	for _, c := range comms {
+		go func(c mpi.Comm) { errs <- fn(c) }(c)
+	}
+	var first error
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	if cerr := closeWorld(); cerr != nil && first == nil {
+		first = cerr
+	}
+	return first
+}

@@ -1,0 +1,255 @@
+package schedule
+
+import (
+	"fmt"
+
+	"github.com/aapc-sched/aapcsched/internal/topology"
+)
+
+// Build runs the complete scheduling pipeline on a cluster: root
+// identification, global message scheduling, and global and local message
+// assignment. The resulting schedule realizes every AAPC message exactly
+// once in AAPCLoad(g) contention-free phases.
+func Build(g *topology.Graph) (*Schedule, error) {
+	ri, err := g.FindRoot()
+	if err != nil {
+		return nil, err
+	}
+	return BuildWithRoot(g, ri)
+}
+
+// BuildWithRoot runs global scheduling and message assignment for an
+// explicitly chosen root decomposition. The subtree decomposition fully
+// determines the schedule; the graph is only needed by the caller for
+// verification, so topologies with the same two-level view get identical
+// schedules.
+func BuildWithRoot(g *topology.Graph, ri *topology.RootInfo) (*Schedule, error) {
+	n := g.NumMachines()
+	switch {
+	case n == 0:
+		return nil, fmt.Errorf("schedule: no machines")
+	case n == 1:
+		return &Schedule{NumRanks: 1}, nil
+	}
+	if len(ri.Subtrees) < 2 {
+		return nil, fmt.Errorf("schedule: root decomposition has %d machine-bearing subtrees; need >= 2",
+			len(ri.Subtrees))
+	}
+	a, err := newAssigner(ri)
+	if err != nil {
+		return nil, err
+	}
+	s := a.run()
+	s.NumRanks = n
+	s.normalize()
+	return s, nil
+}
+
+// assigner carries the state of the six-step assignment algorithm (Fig. 4).
+type assigner struct {
+	gs *GroupSchedule
+	// machines[i][x] is the machine rank of the paper's node t_{i,x}.
+	machines [][]int
+	total    int // |M|
+	phases   []Phase
+
+	// t0Sender[p] is the index x such that t0,x is the sender of a global
+	// message at phase p, as fixed by Step 1. Every phase has a t0 sender.
+	t0Sender []int
+	// t0SenderPhase[r][x] is the phase within round r at which t0,x is the
+	// sender. Rounds are the aligned windows of |M0| consecutive phases.
+	t0SenderPhase [][]int
+}
+
+func newAssigner(ri *topology.RootInfo) (*assigner, error) {
+	sizes := make([]int, len(ri.Subtrees))
+	machines := make([][]int, len(ri.Subtrees))
+	total := 0
+	for i, st := range ri.Subtrees {
+		sizes[i] = len(st.Machines)
+		machines[i] = st.Machines
+		total += len(st.Machines)
+	}
+	gs, err := NewGroupSchedule(sizes)
+	if err != nil {
+		return nil, err
+	}
+	return &assigner{
+		gs:       gs,
+		machines: machines,
+		total:    total,
+		phases:   make([]Phase, gs.Total),
+	}, nil
+}
+
+// rank translates subtree coordinates t_{i,x} to a machine rank.
+func (a *assigner) rank(i, x int) int { return a.machines[i][x] }
+
+// designatedReceiver returns the paper's aligned receiver index for subtree
+// i at phase p: t_{i, (p - |M0|*(|M|-|M0|)) mod |Mi|}. Steps 1, 4 and 6
+// assign the receivers of all messages into subtree i by this formula, so at
+// any phase at most this node of subtree i receives a global message.
+func (a *assigner) designatedReceiver(i, p int) int {
+	return mod(p-a.gs.Total, a.gs.Sizes[i])
+}
+
+// add places the message t_{i,x} -> t_{j,y} into phase p.
+func (a *assigner) add(p, i, x, j, y int) {
+	a.phases[p] = append(a.phases[p], Message{Src: a.rank(i, x), Dst: a.rank(j, y)})
+}
+
+func (a *assigner) run() *Schedule {
+	a.step1()
+	a.step2()
+	a.step3()
+	a.step4()
+	a.step5()
+	a.step6()
+	return &Schedule{Phases: a.phases}
+}
+
+// step1 assigns phases to messages in t0 -> tj, 1 <= j < k. Receivers follow
+// the designated-receiver formula; senders follow the rotate pattern with
+// base sequence t0,0, t0,1, ..., so that every aligned window of |M0| phases
+// sees each node of t0 send exactly once.
+func (a *assigner) step1() {
+	k := a.gs.K()
+	m0 := a.gs.Sizes[0]
+	a.t0Sender = make([]int, a.gs.Total)
+	numRounds := a.gs.Total / m0
+	a.t0SenderPhase = make([][]int, numRounds)
+	for r := range a.t0SenderPhase {
+		a.t0SenderPhase[r] = make([]int, m0)
+	}
+	for j := 1; j < k; j++ {
+		mj := a.gs.Sizes[j]
+		start := a.gs.Start(0, j)
+		for q := 0; q < m0*mj; q++ {
+			p := start + q
+			sender := RotateSenderIndex(m0, mj, q)
+			recv := a.designatedReceiver(j, p)
+			a.add(p, 0, sender, j, recv)
+			a.t0Sender[p] = sender
+			a.t0SenderPhase[p/m0][sender] = p
+		}
+	}
+}
+
+// step2 assigns phases to messages in ti -> t0, 1 <= i < k. The receiver at
+// phase p in round r is t0,(s + r mod |M0| + 1) mod |M0| where t0,s is the
+// Step-1 sender at p (the Table 3 mapping); the senders follow the broadcast
+// pattern, each node of ti sending for one whole round of |M0| phases.
+func (a *assigner) step2() {
+	k := a.gs.K()
+	m0 := a.gs.Sizes[0]
+	for i := 1; i < k; i++ {
+		start := a.gs.Start(i, 0)
+		for q := 0; q < a.gs.Sizes[i]*m0; q++ {
+			p := start + q
+			sender := q / m0 // broadcast: one round per sender
+			r := p / m0
+			recv := mod(a.t0Sender[p]+mod(r, m0)+1, m0)
+			a.add(p, i, sender, 0, recv)
+		}
+	}
+}
+
+// step3 schedules the local messages of t0 in the first |M0| * (|M0| - 1)
+// phases: t0,n -> t0,m is placed at the phase where t0,n receives a global
+// message (by the Table 3 mapping) and t0,m sends one.
+func (a *assigner) step3() {
+	m0 := a.gs.Sizes[0]
+	for n := 0; n < m0; n++ {
+		for m := 0; m < m0; m++ {
+			if n == m {
+				continue
+			}
+			// In round r the Step-2 mapping pairs sender t0,m with receiver
+			// t0,(m + r + 1) mod |M0|; choose r so that receiver is t0,n.
+			r := mod(n-m-1, m0)
+			p := a.t0SenderPhase[r][m]
+			a.add(p, 0, n, 0, m)
+		}
+	}
+}
+
+// step4 assigns phases to messages in ti -> tj for i > j >= 1 using the
+// broadcast pattern. The phase-range start is congruent to the total phase
+// count modulo |Mj|, so the broadcast receivers coincide with the
+// designated-receiver formula.
+func (a *assigner) step4() {
+	k := a.gs.K()
+	for j := 1; j < k; j++ {
+		for i := j + 1; i < k; i++ {
+			a.assignAlignedBroadcast(i, j)
+		}
+	}
+}
+
+// step5 schedules the local messages of ti, 1 <= i < k, within the phases of
+// ti -> t(i-1). In that range each node t_{i,i1} sends a global message for
+// |M(i-1)| >= |Mi| consecutive phases, and the designated receiver formula
+// cycles through all of ti, so for every i2 != i1 there is a phase where
+// t_{i,i2} is the designated receiver while t_{i,i1} sends; the local
+// message t_{i,i2} -> t_{i,i1} goes there.
+func (a *assigner) step5() {
+	k := a.gs.K()
+	for i := 1; i < k; i++ {
+		mi := a.gs.Sizes[i]
+		if mi < 2 {
+			continue // no local messages in a single-machine subtree
+		}
+		prev := a.gs.Sizes[i-1] // block size of the broadcast into t(i-1)
+		start := a.gs.Start(i, i-1)
+		for i1 := 0; i1 < mi; i1++ {
+			blockStart := start + i1*prev
+			for i2 := 0; i2 < mi; i2++ {
+				if i2 == i1 {
+					continue
+				}
+				p := -1
+				for q := 0; q < prev; q++ {
+					if a.designatedReceiver(i, blockStart+q) == i2 {
+						p = blockStart + q
+						break
+					}
+				}
+				if p < 0 {
+					// Unreachable: |M(i-1)| >= |Mi| guarantees every
+					// designated-receiver value occurs in the block.
+					panic(fmt.Sprintf("schedule: no phase for local message t%d,%d -> t%d,%d",
+						i, i2, i, i1))
+				}
+				a.add(p, i, i2, i, i1)
+			}
+		}
+	}
+}
+
+// step6 assigns phases to messages in ti -> tj for 1 <= i < j. The paper
+// allows either the broadcast or the rotate pattern here; we use the
+// broadcast pattern with receivers aligned to the designated-receiver
+// formula, which preserves the invariant that every message into tj targets
+// the designated receiver (the alignment makes the choice robust even if a
+// step-6 range were to overlap local-message phases).
+func (a *assigner) step6() {
+	k := a.gs.K()
+	for i := 1; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			a.assignAlignedBroadcast(i, j)
+		}
+	}
+}
+
+// assignAlignedBroadcast realizes ti -> tj with broadcast senders (each
+// sender holds |Mj| consecutive phases) and designated-formula receivers.
+// Any window of |Mj| consecutive phases covers each receiver exactly once,
+// so all |Mi| * |Mj| messages are realized.
+func (a *assigner) assignAlignedBroadcast(i, j int) {
+	mj := a.gs.Sizes[j]
+	start := a.gs.Start(i, j)
+	for q := 0; q < a.gs.Sizes[i]*mj; q++ {
+		p := start + q
+		a.add(p, i, q/mj, j, a.designatedReceiver(j, p))
+	}
+}

@@ -1,0 +1,42 @@
+package schedule_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/aapc-sched/aapcsched/internal/schedule"
+	"github.com/aapc-sched/aapcsched/internal/topology"
+)
+
+// ExampleBuild constructs and verifies the contention-free schedule for a
+// small two-switch cluster.
+func ExampleBuild() {
+	g, err := topology.ParseString(`
+switches s0 s1
+machines n0 n1 n2 n3
+link s0 s1
+link s0 n0
+link s0 n1
+link s1 n2
+link s1 n3
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := schedule.Build(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := schedule.Verify(g, s, true); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d messages in %d phases (load %d)\n",
+		s.NumMessages(), len(s.Phases), g.AAPCLoad())
+	fmt.Print(s)
+	// Output:
+	// 12 messages in 4 phases (load 4)
+	// phase 0: 0->2 1->0 2->3 3->1
+	// phase 1: 0->1 1->2 3->0
+	// phase 2: 0->3 2->0
+	// phase 3: 1->3 2->1 3->2
+}

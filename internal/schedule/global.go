@@ -1,0 +1,114 @@
+package schedule
+
+import "fmt"
+
+// GroupSchedule is the result of global message scheduling (Section 4.2):
+// for every ordered subtree pair (i, j) the contiguous range of phases in
+// which the group of messages ti -> tj is realized. The extended ring
+// schedule guarantees (Lemma 2) that the total number of phases is
+// |M0| * (|M| - |M0|) and that within a phase no two groups contend on the
+// links connecting subtrees to the root.
+type GroupSchedule struct {
+	// Sizes holds the subtree machine counts |M0| >= |M1| >= ... >= |Mk-1|.
+	Sizes []int
+	// Total is the number of phases, |M0| * (|M| - |M0|).
+	Total int
+	// start[i][j] is the first phase of group ti -> tj; start[i][i] = -1.
+	start [][]int
+}
+
+// NewGroupSchedule computes the extended ring global schedule for subtrees
+// with the given machine counts, which must be positive and in non-increasing
+// order with at least two subtrees.
+func NewGroupSchedule(sizes []int) (*GroupSchedule, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("schedule: need at least 2 subtrees, have %d", len(sizes))
+	}
+	total := 0
+	for i, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("schedule: subtree %d has non-positive size %d", i, s)
+		}
+		if i > 0 && s > sizes[i-1] {
+			return nil, fmt.Errorf("schedule: subtree sizes not sorted: |M%d|=%d > |M%d|=%d",
+				i, s, i-1, sizes[i-1])
+		}
+		total += s
+	}
+	k := len(sizes)
+	gs := &GroupSchedule{
+		Sizes: append([]int(nil), sizes...),
+		Total: sizes[0] * (total - sizes[0]),
+		start: make([][]int, k),
+	}
+	for i := 0; i < k; i++ {
+		gs.start[i] = make([]int, k)
+		for j := 0; j < k; j++ {
+			switch {
+			case i == j:
+				gs.start[i][j] = -1
+			case j > i:
+				// Messages in ti -> tj start at |Mi| * sum(|Mk|, i<k<j).
+				p := 0
+				for x := i + 1; x < j; x++ {
+					p += sizes[x]
+				}
+				gs.start[i][j] = sizes[i] * p
+			default: // i > j
+				// Messages in ti -> tj start at
+				// |M0|*(|M|-|M0|) - |Mj| * sum(|Mk|, j<k<=i).
+				p := 0
+				for x := j + 1; x <= i; x++ {
+					p += sizes[x]
+				}
+				gs.start[i][j] = gs.Total - sizes[j]*p
+			}
+		}
+	}
+	return gs, nil
+}
+
+// K returns the number of subtrees.
+func (gs *GroupSchedule) K() int { return len(gs.Sizes) }
+
+// Start returns the first phase of the group ti -> tj.
+func (gs *GroupSchedule) Start(i, j int) int {
+	if i == j {
+		panic(fmt.Sprintf("schedule: Start(%d, %d): no self group", i, j))
+	}
+	return gs.start[i][j]
+}
+
+// End returns one past the last phase of the group ti -> tj.
+func (gs *GroupSchedule) End(i, j int) int {
+	return gs.Start(i, j) + gs.Sizes[i]*gs.Sizes[j]
+}
+
+// GroupAt returns which group (i -> j) subtree i is sending at phase p, or
+// ok=false when subtree i has no sending group covering p (the subtree is
+// idle as a sender in that phase).
+func (gs *GroupSchedule) GroupAt(i, p int) (j int, ok bool) {
+	for j = 0; j < gs.K(); j++ {
+		if j == i {
+			continue
+		}
+		if s := gs.Start(i, j); s <= p && p < gs.End(i, j) {
+			return j, true
+		}
+	}
+	return -1, false
+}
+
+// SenderGroupInto returns which group (i -> j) is sending into subtree j at
+// phase p, or ok=false when no group targets subtree j in that phase.
+func (gs *GroupSchedule) SenderGroupInto(j, p int) (i int, ok bool) {
+	for i = 0; i < gs.K(); i++ {
+		if i == j {
+			continue
+		}
+		if s := gs.Start(i, j); s <= p && p < gs.End(i, j) {
+			return i, true
+		}
+	}
+	return -1, false
+}

@@ -1,0 +1,52 @@
+package schedule
+
+// Pair is one slot of an inter-subtree communication pattern: at some local
+// phase, the machine with index SenderIdx in the source subtree sends to the
+// machine with index RecvIdx in the destination subtree.
+type Pair struct {
+	SenderIdx int
+	RecvIdx   int
+}
+
+// BroadcastPattern returns the broadcast scheme of Section 4.3 for realizing
+// ti -> tj with mi senders and mj receivers: the mi*mj local phases are
+// partitioned into mi rounds of mj phases; in round r sender r transmits one
+// message to each receiver in order. Each sender occupies mj continuous
+// phases (Lemma 5).
+func BroadcastPattern(mi, mj int) []Pair {
+	pattern := make([]Pair, 0, mi*mj)
+	for s := 0; s < mi; s++ {
+		for r := 0; r < mj; r++ {
+			pattern = append(pattern, Pair{SenderIdx: s, RecvIdx: r})
+		}
+	}
+	return pattern
+}
+
+// RotateSenderIndex returns the sender index of the rotate scheme at local
+// phase q for a pattern with mi senders and mj receivers and the identity
+// base sequence. Let D = gcd(mi, mj), mi = a*D and mj = b*D. The base
+// sequence is repeated b times for each block of a*b*D phases; at every
+// block boundary the base sequence is rotated once more.
+func RotateSenderIndex(mi, mj, q int) int {
+	d := gcd(mi, mj)
+	block := mi * (mj / d) // a*b*D phases per rotation block
+	rot := q / block
+	return mod(q+rot, mi)
+}
+
+// RotatePattern returns the rotate scheme of Section 4.3 (Table 2) for
+// realizing ti -> tj: receivers repeat the fixed sequence tj,0..tj,mj-1 and
+// senders follow the rotated base sequence. Counting from the first phase,
+// each sender occurs once in every mi phases and each receiver once in every
+// mj phases (Lemma 6), and all mi*mj messages are realized exactly once.
+func RotatePattern(mi, mj int) []Pair {
+	pattern := make([]Pair, mi*mj)
+	for q := range pattern {
+		pattern[q] = Pair{
+			SenderIdx: RotateSenderIndex(mi, mj, q),
+			RecvIdx:   q % mj,
+		}
+	}
+	return pattern
+}

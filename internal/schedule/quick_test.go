@@ -1,0 +1,229 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickCfg bounds generated values to useful ranges.
+var quickCfg = &quick.Config{MaxCount: 300}
+
+// boundedPair maps arbitrary uints into pattern sizes 1..12.
+func boundedPair(a, b uint) (int, int) {
+	return int(a%12) + 1, int(b%12) + 1
+}
+
+// TestQuickRotateRealizesAllPairs: for any sizes, the rotate pattern
+// contains every (sender, receiver) pair exactly once.
+func TestQuickRotateRealizesAllPairs(t *testing.T) {
+	prop := func(a, b uint) bool {
+		mi, mj := boundedPair(a, b)
+		seen := make(map[Pair]bool)
+		for _, p := range RotatePattern(mi, mj) {
+			if p.SenderIdx < 0 || p.SenderIdx >= mi || p.RecvIdx < 0 || p.RecvIdx >= mj {
+				return false
+			}
+			if seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return len(seen) == mi*mj
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRotateLemma6Windows: every aligned window of mi phases has all
+// senders; every aligned window of mj phases has all receivers.
+func TestQuickRotateLemma6Windows(t *testing.T) {
+	prop := func(a, b uint) bool {
+		mi, mj := boundedPair(a, b)
+		pat := RotatePattern(mi, mj)
+		for w := 0; w+mi <= len(pat); w += mi {
+			seen := make(map[int]bool)
+			for _, p := range pat[w : w+mi] {
+				seen[p.SenderIdx] = true
+			}
+			if len(seen) != mi {
+				return false
+			}
+		}
+		for w := 0; w+mj <= len(pat); w += mj {
+			seen := make(map[int]bool)
+			for _, p := range pat[w : w+mj] {
+				seen[p.RecvIdx] = true
+			}
+			if len(seen) != mj {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBroadcastLemma5: each broadcast sender holds exactly mj
+// consecutive slots, in order.
+func TestQuickBroadcastLemma5(t *testing.T) {
+	prop := func(a, b uint) bool {
+		mi, mj := boundedPair(a, b)
+		pat := BroadcastPattern(mi, mj)
+		if len(pat) != mi*mj {
+			return false
+		}
+		for q, p := range pat {
+			if p.SenderIdx != q/mj || p.RecvIdx != q%mj {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRingIsPermutationPhases: for any k, every ring phase is a
+// permutation (each participant sends once and receives once) and all
+// k*(k-1) messages appear.
+func TestQuickRingIsPermutationPhases(t *testing.T) {
+	prop := func(a uint) bool {
+		k := int(a%14) + 2
+		phases := Ring(k)
+		if len(phases) != k-1 {
+			return false
+		}
+		total := 0
+		for _, p := range phases {
+			sends := make(map[int]bool)
+			recvs := make(map[int]bool)
+			for _, m := range p {
+				if sends[m.Src] || recvs[m.Dst] {
+					return false
+				}
+				sends[m.Src] = true
+				recvs[m.Dst] = true
+			}
+			if len(p) != k {
+				return false
+			}
+			total += len(p)
+		}
+		return total == k*(k-1)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// sizesFromSeed builds a valid (sorted, |M0| <= |M|/2) subtree size vector.
+func sizesFromSeed(seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	k := 2 + rng.Intn(6)
+	sizes := make([]int, k)
+	for i := range sizes {
+		sizes[i] = 1 + rng.Intn(6)
+	}
+	sortDesc(sizes)
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	for sizes[0] > total-sizes[0] {
+		// Grow a smaller subtree until the dominance condition holds.
+		sizes[len(sizes)-1]++
+		total++
+		sortDesc(sizes)
+	}
+	return sizes
+}
+
+// TestQuickGroupScheduleTiling: for any valid size vector, subtree i's send
+// ranges use exactly |Mi| * (|M| - |Mi|) phases with no overlap, and the
+// receive ranges into subtree j likewise tile without overlap.
+func TestQuickGroupScheduleTiling(t *testing.T) {
+	prop := func(seed int64) bool {
+		sizes := sizesFromSeed(seed)
+		gs, err := NewGroupSchedule(sizes)
+		if err != nil {
+			return false
+		}
+		k := len(sizes)
+		for i := 0; i < k; i++ {
+			// Send ranges of subtree i must not overlap each other.
+			busy := make([]bool, gs.Total)
+			count := 0
+			for j := 0; j < k; j++ {
+				if i == j {
+					continue
+				}
+				for p := gs.Start(i, j); p < gs.End(i, j); p++ {
+					if busy[p] {
+						return false
+					}
+					busy[p] = true
+					count++
+				}
+			}
+			total := 0
+			for _, s := range sizes {
+				total += s
+			}
+			if count != sizes[i]*(total-sizes[i]) {
+				return false
+			}
+			// Receive ranges into subtree i must not overlap each other.
+			busy = make([]bool, gs.Total)
+			for j := 0; j < k; j++ {
+				if i == j {
+					continue
+				}
+				for p := gs.Start(j, i); p < gs.End(j, i); p++ {
+					if busy[p] {
+						return false
+					}
+					busy[p] = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickModGcd: mod is always in [0, m) and congruent; gcd divides both
+// arguments and any common divisor divides it.
+func TestQuickModGcd(t *testing.T) {
+	propMod := func(a int, mm uint) bool {
+		m := int(mm%100) + 1
+		r := mod(a, m)
+		return r >= 0 && r < m && (a-r)%m == 0
+	}
+	if err := quick.Check(propMod, quickCfg); err != nil {
+		t.Error(err)
+	}
+	propGcd := func(aa, bb uint) bool {
+		a, b := int(aa%1000)+1, int(bb%1000)+1
+		g := gcd(a, b)
+		if g <= 0 || a%g != 0 || b%g != 0 {
+			return false
+		}
+		// No larger common divisor.
+		for d := g + 1; d <= a && d <= b; d++ {
+			if a%d == 0 && b%d == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(propGcd, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

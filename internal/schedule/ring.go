@@ -1,0 +1,41 @@
+package schedule
+
+// Ring computes the classic ring schedule of Table 1 for k participants:
+// k-1 phases in which participant i sends to participant j at phase
+// j-i-1 when j > i and phase (k-1)-(i-j) when i > j. Each phase is a
+// permutation in which every participant sends exactly once and receives
+// exactly once.
+//
+// Participants are identified by index 0..k-1; the messages returned use
+// those indices as ranks. Ring is the degenerate case of the extended ring
+// global schedule when every subtree holds exactly one machine.
+func Ring(k int) []Phase {
+	if k < 2 {
+		return nil
+	}
+	phases := make([]Phase, k-1)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i == j {
+				continue
+			}
+			var p int
+			if j > i {
+				p = j - i - 1
+			} else {
+				p = (k - 1) - (i - j)
+			}
+			phases[p] = append(phases[p], Message{Src: i, Dst: j})
+		}
+	}
+	return phases
+}
+
+// RingPhaseOf returns the ring-schedule phase of the message i -> j among k
+// participants, matching Table 1 of the paper.
+func RingPhaseOf(k, i, j int) int {
+	if j > i {
+		return j - i - 1
+	}
+	return (k - 1) - (i - j)
+}

@@ -1,0 +1,48 @@
+package simnet_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/aapc-sched/aapcsched/internal/mpi"
+	"github.com/aapc-sched/aapcsched/internal/simnet"
+	"github.com/aapc-sched/aapcsched/internal/topology"
+)
+
+// ExampleWorld_Run simulates one 1 MB transfer over a 100 Mbps link: the
+// virtual completion time is the startup latency plus size/bandwidth,
+// independent of how fast the host machine is.
+func ExampleWorld_Run() {
+	g := topology.New()
+	s := g.MustAddSwitch("sw")
+	a := g.MustAddMachine("a")
+	b := g.MustAddMachine("b")
+	g.MustConnect(s, a)
+	g.MustConnect(s, b)
+	g.MustValidate()
+
+	w, err := simnet.NewWorld(simnet.Config{
+		Graph:          g,
+		LinkBandwidth:  12.5e6, // 100 Mbps
+		StartupLatency: 1e-3,
+		MinEfficiency:  1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const size = 1 << 20
+	err = w.Run(func(c mpi.Comm) error {
+		if c.Rank() == 0 {
+			return mpi.Send(c, make([]byte, size), 1, 0)
+		}
+		return mpi.Recv(c, make([]byte, size), 0, 0)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("virtual time: %.4f s\n", w.Elapsed())
+	fmt.Println("flows:", w.FlowCount())
+	// Output:
+	// virtual time: 0.0849 s
+	// flows: 1
+}

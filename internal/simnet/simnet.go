@@ -1,0 +1,771 @@
+// Package simnet simulates an Ethernet switched cluster with virtual time.
+//
+// The simulator substitutes for the paper's physical 32-node 100 Mbps
+// testbed. It executes unmodified mpi algorithms — each rank runs as a
+// goroutine against an mpi.Comm — while modelling the network as a fluid
+// system on the cluster tree:
+//
+//   - Every directed link has a fixed capacity (full-duplex Ethernet).
+//   - A message becomes a flow when both its send and its receive are
+//     posted (rendezvous), and starts moving StartupLatency seconds later
+//     (per-message software/protocol overhead).
+//   - Concurrent flows share links by max-min fairness, recomputed whenever
+//     a flow starts or finishes (progressive filling).
+//   - A link crossed by n concurrent flows runs at efficiency
+//     effMin + (1-effMin)/n: full speed for a single flow, degrading toward
+//     the MinEfficiency floor as oversubscription grows. This models the
+//     packet loss and TCP backoff that make unscheduled AAPC collapse on
+//     real Ethernet, which a pure fluid model would hide.
+//
+// Virtual time advances only when every rank is blocked (conservative
+// synchronous simulation), so results are deterministic regardless of
+// goroutine scheduling.
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"github.com/aapc-sched/aapcsched/internal/mpi"
+	"github.com/aapc-sched/aapcsched/internal/topology"
+)
+
+// Config describes the simulated cluster and its cost model.
+type Config struct {
+	// Graph is the cluster topology; one rank per machine.
+	Graph *topology.Graph
+	// LinkBandwidth is the capacity of every link in bytes/second.
+	// The paper's clusters use 100 Mbps Ethernet = 12.5e6 B/s.
+	LinkBandwidth float64
+	// StartupLatency is the per-message overhead in seconds between the
+	// rendezvous match and the first byte moving (software stack, protocol
+	// handshake). Default 0.5 ms, calibrated against the paper's 8 KB rows.
+	StartupLatency float64
+	// MinEfficiency is the asymptotic efficiency of a link shared by many
+	// flows (TCP collapse floor). 1.0 gives an ideal fluid network.
+	// Default 0.6.
+	MinEfficiency float64
+	// BarrierLatency is the virtual-time cost of a barrier once the last
+	// rank arrives. Default 2 * StartupLatency * ceil(log2(N)).
+	BarrierLatency float64
+	// ControlLatency, when positive, is the startup latency applied to
+	// control-sized messages (at most ControlSizeMax bytes) instead of
+	// StartupLatency. Small packets cross a real MPI/TCP stack much faster
+	// than the rendezvous of a large transfer; this knob lets the
+	// synchronization messages of the scheduled algorithm pay a realistic
+	// latency. Zero keeps StartupLatency for all messages.
+	ControlLatency float64
+	// JitterFrac adds deterministic pseudo-random variation to the startup
+	// latency: each message pays StartupLatency * (1 + JitterFrac * u) with
+	// u in [0, 1) derived from a hash of (src, dst, tag, per-key sequence
+	// number) and JitterSeed. This models the OS-scheduling and protocol
+	// timing noise of a real cluster — the noise that makes unsynchronized
+	// phased algorithms drift into contention — while keeping runs exactly
+	// reproducible. Default 0 (no jitter).
+	JitterFrac float64
+	// JitterSeed selects the jitter pattern; equal seeds give identical
+	// runs.
+	JitterSeed uint64
+}
+
+// Defaults for the zero fields of Config, chosen to mimic the paper's
+// 100 Mbps Ethernet testbed.
+const (
+	DefaultLinkBandwidth  = 12.5e6 // 100 Mbps in bytes/second
+	DefaultStartupLatency = 0.5e-3
+	DefaultMinEfficiency  = 0.6
+	// ControlSizeMax is the size threshold below which a message counts as
+	// control traffic for ControlLatency purposes.
+	ControlSizeMax = 64
+)
+
+func (cfg *Config) withDefaults() (Config, error) {
+	out := *cfg
+	if out.Graph == nil {
+		return out, fmt.Errorf("simnet: Config.Graph is nil")
+	}
+	if err := out.Graph.Validate(); err != nil {
+		return out, err
+	}
+	if out.LinkBandwidth == 0 {
+		out.LinkBandwidth = DefaultLinkBandwidth
+	}
+	if out.LinkBandwidth <= 0 {
+		return out, fmt.Errorf("simnet: non-positive bandwidth %v", out.LinkBandwidth)
+	}
+	if out.StartupLatency == 0 {
+		out.StartupLatency = DefaultStartupLatency
+	}
+	if out.StartupLatency < 0 {
+		return out, fmt.Errorf("simnet: negative startup latency %v", out.StartupLatency)
+	}
+	if out.MinEfficiency == 0 {
+		out.MinEfficiency = DefaultMinEfficiency
+	}
+	if out.MinEfficiency <= 0 || out.MinEfficiency > 1 {
+		return out, fmt.Errorf("simnet: MinEfficiency %v outside (0, 1]", out.MinEfficiency)
+	}
+	if out.BarrierLatency == 0 {
+		n := out.Graph.NumMachines()
+		out.BarrierLatency = 2 * out.StartupLatency * math.Ceil(math.Log2(float64(n)+1))
+	}
+	if out.JitterFrac < 0 {
+		return out, fmt.Errorf("simnet: negative JitterFrac %v", out.JitterFrac)
+	}
+	if out.ControlLatency < 0 {
+		return out, fmt.Errorf("simnet: negative ControlLatency %v", out.ControlLatency)
+	}
+	return out, nil
+}
+
+// World is one simulated cluster instance. A World runs a single program
+// (one function per rank) and is then exhausted; create a new World per run.
+type World struct {
+	cfg Config
+	eng *engine
+}
+
+// NewWorld builds a simulated world for the topology in cfg.
+func NewWorld(cfg Config) (*World, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &World{cfg: full, eng: newEngine(full)}, nil
+}
+
+// Comms returns one communicator per machine rank. Each must be used only
+// from the goroutine that runs that rank.
+func (w *World) Comms() []mpi.Comm {
+	comms := make([]mpi.Comm, w.eng.n)
+	for i := range comms {
+		comms[i] = &comm{e: w.eng, rank: i}
+	}
+	return comms
+}
+
+// Run executes fn once per rank on its own goroutine and waits for all,
+// returning the first error. Virtual time advances as the ranks communicate;
+// after Run returns, Elapsed reports the completion time of the whole
+// program.
+func (w *World) Run(fn func(c mpi.Comm) error) error {
+	comms := w.Comms()
+	errs := make(chan error, len(comms))
+	for _, c := range comms {
+		go func(c mpi.Comm) {
+			defer w.eng.finish()
+			defer func() {
+				if r := recover(); r != nil {
+					errs <- fmt.Errorf("simnet: rank %d panicked: %v", c.Rank(), r)
+					return
+				}
+			}()
+			errs <- fn(c)
+		}(c)
+	}
+	var first error
+	for range comms {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Elapsed returns the current virtual time in seconds.
+func (w *World) Elapsed() float64 {
+	w.eng.mu.Lock()
+	defer w.eng.mu.Unlock()
+	return w.eng.clock
+}
+
+// LinkStats describes the cumulative utilization of one directed link after
+// a run.
+type LinkStats struct {
+	Edge topology.Edge
+	// Bytes is the total number of bytes carried.
+	Bytes float64
+	// BusySeconds integrates the fraction of raw capacity in use over time;
+	// BusySeconds/Elapsed is the mean utilization.
+	BusySeconds float64
+}
+
+// LinkStats returns per-directed-edge utilization, sorted by edge index.
+func (w *World) LinkStats() []LinkStats {
+	e := w.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]LinkStats, e.idx.Len())
+	for i := range out {
+		out[i] = LinkStats{
+			Edge:        e.idx.Edge(i),
+			Bytes:       e.linkBytes[i],
+			BusySeconds: e.linkBytes[i] / e.edgeCap[i],
+		}
+	}
+	return out
+}
+
+// FlowRecord describes one completed message for tracing: who sent it,
+// when the rendezvous matched, when bytes started moving, and when it
+// finished.
+type FlowRecord struct {
+	Src, Dst int
+	Tag      int
+	Size     int
+	// MatchedAt is when both endpoints had posted (rendezvous).
+	MatchedAt float64
+	// StartedAt is MatchedAt plus the startup latency.
+	StartedAt float64
+	// FinishedAt is when the last byte arrived.
+	FinishedAt float64
+}
+
+// FlowTrace returns the completed flows in completion order. It must be
+// called after Run returns.
+func (w *World) FlowTrace() []FlowRecord {
+	w.eng.mu.Lock()
+	defer w.eng.mu.Unlock()
+	return append([]FlowRecord(nil), w.eng.trace...)
+}
+
+// FlowCount returns the total number of flows the run created.
+func (w *World) FlowCount() int {
+	w.eng.mu.Lock()
+	defer w.eng.mu.Unlock()
+	return w.eng.flowSeq
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+type matchKey struct{ src, dst, tag int }
+
+// simOp is a posted send or receive. Completion is driven by the engine.
+type simOp struct {
+	buf      []byte
+	done     bool
+	err      error
+	nwaiters int // ranks currently blocked on this op
+}
+
+// flow is a matched message in transit.
+type flow struct {
+	id       int
+	src, dst int
+	tag      int
+	path     []int // directed edge IDs; empty for self-messages
+	matched  float64
+	size     float64
+	remain   float64
+	rate     float64
+	startAt  float64 // virtual time at which bytes start moving
+	active   bool
+	sendOp   *simOp
+	recvOp   *simOp
+	sendBuf  []byte
+	recvBuf  []byte
+	overflow bool // receiver buffer too small
+}
+
+// timer fires an op completion at a fixed virtual time (barriers).
+type timer struct {
+	at float64
+	op *simOp
+}
+
+type engine struct {
+	cfg Config
+	n   int
+	idx *topology.EdgeIndex
+	// edgeCap[i] is the capacity of directed edge i in bytes/second
+	// (LinkBandwidth times the link's speed multiplier).
+	edgeCap []float64
+	// pathOf caches directed-edge paths between machine ranks.
+	pathOf [][][]int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	clock   float64
+	alive   int // ranks that have not finished their program
+	blocked int // ranks blocked on an undone op
+
+	sends map[matchKey][]*simOp
+	recvs map[matchKey][]*simOp
+
+	flows   []*flow // pending + active flows
+	flowSeq int
+	trace   []FlowRecord
+	// seq counts matches per (src, dst, tag) for jitter hashing.
+	seq        map[matchKey]uint64
+	timers     []timer
+	ratesDirty bool
+	deadlocked bool
+
+	barrierOp      *simOp
+	barrierWaiting int
+
+	linkBytes []float64
+}
+
+func newEngine(cfg Config) *engine {
+	g := cfg.Graph
+	n := g.NumMachines()
+	e := &engine{
+		cfg:       cfg,
+		n:         n,
+		idx:       g.NewEdgeIndex(),
+		alive:     n,
+		sends:     make(map[matchKey][]*simOp),
+		recvs:     make(map[matchKey][]*simOp),
+		seq:       make(map[matchKey]uint64),
+		linkBytes: nil,
+	}
+	e.linkBytes = make([]float64, e.idx.Len())
+	e.edgeCap = make([]float64, e.idx.Len())
+	for i := range e.edgeCap {
+		e.edgeCap[i] = cfg.LinkBandwidth * g.LinkSpeed(e.idx.Edge(i))
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.pathOf = make([][][]int, n)
+	for src := 0; src < n; src++ {
+		e.pathOf[src] = make([][]int, n)
+		for dst := 0; dst < n; dst++ {
+			if src != dst {
+				e.pathOf[src][dst] = g.PathIDs(e.idx, g.MachineID(src), g.MachineID(dst))
+			}
+		}
+	}
+	return e
+}
+
+// finish marks one rank's program as complete.
+func (e *engine) finish() {
+	e.mu.Lock()
+	e.alive--
+	// Blocked ranks may now be the only ones left; wake one to advance.
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// post registers an operation and matches it against the opposite queue.
+// Caller holds e.mu.
+func (e *engine) post(key matchKey, op *simOp, isSend bool) {
+	mine, theirs := e.sends, e.recvs
+	if !isSend {
+		mine, theirs = e.recvs, e.sends
+	}
+	if q := theirs[key]; len(q) > 0 {
+		peer := q[0]
+		theirs[key] = q[1:]
+		var sendOp, recvOp *simOp
+		if isSend {
+			sendOp, recvOp = op, peer
+		} else {
+			sendOp, recvOp = peer, op
+		}
+		e.startFlow(key, sendOp, recvOp)
+		return
+	}
+	mine[key] = append(mine[key], op)
+}
+
+// mix is the splitmix64 finalizer, used to hash message identities into
+// jitter values.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// startup returns the (possibly jittered) startup latency for a message of
+// the given size.
+func (e *engine) startup(key matchKey, size int) float64 {
+	alpha := e.cfg.StartupLatency
+	if e.cfg.ControlLatency > 0 && size <= ControlSizeMax {
+		alpha = e.cfg.ControlLatency
+	}
+	if e.cfg.JitterFrac == 0 {
+		return alpha
+	}
+	n := e.seq[key]
+	e.seq[key] = n + 1
+	h := mix(e.cfg.JitterSeed ^ mix(uint64(key.src)<<42^uint64(key.dst)<<21^uint64(int64(key.tag))) ^ mix(n))
+	u := float64(h>>11) / float64(1<<53) // uniform in [0, 1)
+	return alpha * (1 + e.cfg.JitterFrac*u)
+}
+
+// startFlow creates the flow for a matched pair. Caller holds e.mu.
+func (e *engine) startFlow(key matchKey, sendOp, recvOp *simOp) {
+	f := &flow{
+		id:      e.flowSeq,
+		src:     key.src,
+		dst:     key.dst,
+		tag:     key.tag,
+		matched: e.clock,
+		size:    float64(len(sendOp.buf)),
+		remain:  float64(len(sendOp.buf)),
+		startAt: e.clock + e.startup(key, len(sendOp.buf)),
+		sendOp:  sendOp,
+		recvOp:  recvOp,
+		sendBuf: sendOp.buf,
+		recvBuf: recvOp.buf,
+	}
+	e.flowSeq++
+	if key.src != key.dst {
+		f.path = e.pathOf[key.src][key.dst]
+	}
+	if len(recvOp.buf) < len(sendOp.buf) {
+		f.overflow = true
+	}
+	e.flows = append(e.flows, f)
+}
+
+// completeOp finishes an op and releases its waiters. Caller holds e.mu.
+func (e *engine) completeOp(op *simOp, err error) {
+	if op.done {
+		return
+	}
+	op.done = true
+	op.err = err
+	e.blocked -= op.nwaiters
+	op.nwaiters = 0
+}
+
+// block waits until op completes, advancing virtual time when this rank is
+// the last one still runnable.
+func (e *engine) block(op *simOp) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if op.done {
+		return op.err
+	}
+	op.nwaiters++
+	e.blocked++
+	for !op.done {
+		if e.blocked == e.alive {
+			if !e.advance() {
+				e.failAll()
+			}
+			e.cond.Broadcast()
+			continue
+		}
+		e.cond.Wait()
+	}
+	return op.err
+}
+
+// failAll marks every pending operation as deadlocked. Caller holds e.mu.
+func (e *engine) failAll() {
+	if e.deadlocked {
+		return
+	}
+	e.deadlocked = true
+	err := fmt.Errorf("simnet: deadlock at t=%.6fs: all ranks blocked with no pending events", e.clock)
+	for _, q := range e.sends {
+		for _, op := range q {
+			e.completeOp(op, err)
+		}
+	}
+	for _, q := range e.recvs {
+		for _, op := range q {
+			e.completeOp(op, err)
+		}
+	}
+	for _, f := range e.flows {
+		e.completeOp(f.sendOp, err)
+		e.completeOp(f.recvOp, err)
+	}
+	if e.barrierOp != nil {
+		e.completeOp(e.barrierOp, err)
+		e.barrierOp = nil
+	}
+}
+
+const timeEps = 1e-12
+
+// advance moves virtual time to the next event and processes it. It returns
+// false when no event is pending (deadlock). Caller holds e.mu.
+func (e *engine) advance() bool {
+	if e.ratesDirty {
+		e.assignRates()
+		e.ratesDirty = false
+	}
+	next := math.Inf(1)
+	for _, f := range e.flows {
+		if f.active {
+			if f.rate > 0 {
+				t := e.clock + f.remain/f.rate
+				if t < next {
+					next = t
+				}
+			} else if f.remain <= 0 {
+				next = e.clock
+			}
+		} else if f.startAt < next {
+			next = f.startAt
+		}
+	}
+	for _, tm := range e.timers {
+		if tm.at < next {
+			next = tm.at
+		}
+	}
+	if math.IsInf(next, 1) {
+		return false
+	}
+	if next < e.clock {
+		next = e.clock
+	}
+	dt := next - e.clock
+
+	// Move bytes.
+	if dt > 0 {
+		for _, f := range e.flows {
+			if f.active && f.rate > 0 {
+				moved := f.rate * dt
+				if moved > f.remain {
+					moved = f.remain
+				}
+				f.remain -= moved
+				for _, eid := range f.path {
+					e.linkBytes[eid] += moved
+				}
+			}
+		}
+	}
+	e.clock = next
+
+	changed := false
+
+	// Complete finished flows (deterministic order by flow id: e.flows is
+	// in creation order).
+	keep := e.flows[:0]
+	for _, f := range e.flows {
+		if f.active && (f.remain <= timeEps*math.Max(1, f.size) || f.remain <= f.rate*timeEps) {
+			var err error
+			if f.overflow {
+				err = fmt.Errorf("simnet: message truncated: receiver buffer %d < %d",
+					len(f.recvBuf), len(f.sendBuf))
+			} else {
+				copy(f.recvBuf, f.sendBuf)
+			}
+			e.completeOp(f.sendOp, err)
+			e.completeOp(f.recvOp, err)
+			e.trace = append(e.trace, FlowRecord{
+				Src: f.src, Dst: f.dst, Tag: f.tag, Size: int(f.size),
+				MatchedAt: f.matched, StartedAt: f.startAt, FinishedAt: e.clock,
+			})
+			changed = true
+			continue
+		}
+		keep = append(keep, f)
+	}
+	e.flows = keep
+
+	// Activate pending flows whose startup delay elapsed.
+	for _, f := range e.flows {
+		if !f.active && f.startAt <= e.clock+timeEps {
+			f.active = true
+			changed = true
+		}
+	}
+
+	// Fire due timers.
+	keepT := e.timers[:0]
+	for _, tm := range e.timers {
+		if tm.at <= e.clock+timeEps {
+			e.completeOp(tm.op, nil)
+		} else {
+			keepT = append(keepT, tm)
+		}
+	}
+	e.timers = keepT
+
+	if changed {
+		e.ratesDirty = true
+	}
+	return true
+}
+
+// efficiency returns the effective fraction of raw link capacity available
+// when n flows share the link.
+func (e *engine) efficiency(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	m := e.cfg.MinEfficiency
+	return m + (1-m)/float64(n)
+}
+
+// assignRates recomputes max-min fair rates for all active flows. Caller
+// holds e.mu.
+func (e *engine) assignRates() {
+	nEdges := e.idx.Len()
+	count := make([]int, nEdges)
+	var active []*flow
+	for _, f := range e.flows {
+		if !f.active {
+			continue
+		}
+		f.rate = 0
+		if len(f.path) == 0 {
+			// Self-message: crosses no link, completes (near-)instantly
+			// once active. A finite rate keeps the arithmetic NaN-free.
+			f.rate = math.Max(f.remain, 1) / timeEps
+			continue
+		}
+		active = append(active, f)
+		for _, eid := range f.path {
+			count[eid]++
+		}
+	}
+	if len(active) == 0 {
+		return
+	}
+	remCap := make([]float64, nEdges)
+	remCount := make([]int, nEdges)
+	for eid := 0; eid < nEdges; eid++ {
+		remCap[eid] = e.edgeCap[eid] * e.efficiency(count[eid])
+		remCount[eid] = count[eid]
+	}
+	unassigned := len(active)
+	frozen := make([]bool, len(active))
+	for unassigned > 0 {
+		// Bottleneck fair share.
+		share := math.Inf(1)
+		for eid := 0; eid < nEdges; eid++ {
+			if remCount[eid] > 0 {
+				if s := remCap[eid] / float64(remCount[eid]); s < share {
+					share = s
+				}
+			}
+		}
+		if math.IsInf(share, 1) {
+			break // no constrained flows left (cannot happen on a tree)
+		}
+		// Freeze flows crossing any bottleneck edge at the fair share.
+		progressed := false
+		for i, f := range active {
+			if frozen[i] {
+				continue
+			}
+			bottlenecked := false
+			for _, eid := range f.path {
+				if remCount[eid] > 0 && remCap[eid]/float64(remCount[eid]) <= share*(1+1e-9) {
+					bottlenecked = true
+					break
+				}
+			}
+			if !bottlenecked {
+				continue
+			}
+			frozen[i] = true
+			f.rate = share
+			unassigned--
+			progressed = true
+			for _, eid := range f.path {
+				remCap[eid] -= share
+				remCount[eid]--
+			}
+		}
+		if !progressed {
+			// Numerical safety valve: freeze everything at the share.
+			for i, f := range active {
+				if !frozen[i] {
+					frozen[i] = true
+					f.rate = share
+					unassigned--
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Comm implementation
+// ---------------------------------------------------------------------------
+
+type comm struct {
+	e    *engine
+	rank int
+}
+
+func (c *comm) Rank() int { return c.rank }
+func (c *comm) Size() int { return c.e.n }
+
+func (c *comm) Now() float64 {
+	c.e.mu.Lock()
+	defer c.e.mu.Unlock()
+	return c.e.clock
+}
+
+type request struct {
+	e  *engine
+	op *simOp
+}
+
+func (r *request) Wait() error { return r.e.block(r.op) }
+
+type errRequest struct{ err error }
+
+func (r errRequest) Wait() error { return r.err }
+
+func (c *comm) Isend(buf []byte, dst, tag int) mpi.Request {
+	if err := mpi.CheckRank(c, dst); err != nil {
+		return errRequest{err}
+	}
+	op := &simOp{buf: buf}
+	e := c.e
+	e.mu.Lock()
+	if e.deadlocked {
+		e.mu.Unlock()
+		return errRequest{fmt.Errorf("simnet: world deadlocked")}
+	}
+	e.post(matchKey{src: c.rank, dst: dst, tag: tag}, op, true)
+	e.mu.Unlock()
+	return &request{e: e, op: op}
+}
+
+func (c *comm) Irecv(buf []byte, src, tag int) mpi.Request {
+	if err := mpi.CheckRank(c, src); err != nil {
+		return errRequest{err}
+	}
+	op := &simOp{buf: buf}
+	e := c.e
+	e.mu.Lock()
+	if e.deadlocked {
+		e.mu.Unlock()
+		return errRequest{fmt.Errorf("simnet: world deadlocked")}
+	}
+	e.post(matchKey{src: src, dst: c.rank, tag: tag}, op, false)
+	e.mu.Unlock()
+	return &request{e: e, op: op}
+}
+
+func (c *comm) Barrier() error {
+	e := c.e
+	e.mu.Lock()
+	if e.barrierOp == nil {
+		e.barrierOp = &simOp{}
+	}
+	op := e.barrierOp
+	e.barrierWaiting++
+	if e.barrierWaiting == e.alive {
+		// Last arrival: schedule completion after the barrier latency and
+		// reset for the next generation.
+		e.timers = append(e.timers, timer{at: e.clock + e.cfg.BarrierLatency, op: op})
+		sort.Slice(e.timers, func(i, j int) bool { return e.timers[i].at < e.timers[j].at })
+		e.barrierOp = nil
+		e.barrierWaiting = 0
+	}
+	e.mu.Unlock()
+	return (&request{e: e, op: op}).Wait()
+}

@@ -1,0 +1,641 @@
+package simnet
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/aapc-sched/aapcsched/internal/mpi"
+	"github.com/aapc-sched/aapcsched/internal/topology"
+)
+
+// starGraph builds n machines on one switch.
+func starGraph(t testing.TB, n int) *topology.Graph {
+	t.Helper()
+	g := topology.New()
+	sw := g.MustAddSwitch("sw")
+	for i := 0; i < n; i++ {
+		m := g.MustAddMachine(fmt.Sprintf("n%d", i))
+		g.MustConnect(sw, m)
+	}
+	return g.MustValidate()
+}
+
+// near asserts a relative tolerance of 1e-6.
+func near(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want)) {
+		t.Errorf("%s = %.9g, want %.9g", name, got, want)
+	}
+}
+
+const (
+	testBW    = 1e6  // 1 MB/s for easy arithmetic
+	testAlpha = 1e-3 // 1 ms startup
+)
+
+func newTestWorld(t *testing.T, g *topology.Graph, minEff float64) *World {
+	t.Helper()
+	w, err := NewWorld(Config{
+		Graph:          g,
+		LinkBandwidth:  testBW,
+		StartupLatency: testAlpha,
+		MinEfficiency:  minEff,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestSingleMessageTiming(t *testing.T) {
+	g := starGraph(t, 2)
+	w := newTestWorld(t, g, 1)
+	const size = 50000
+	err := w.Run(func(c mpi.Comm) error {
+		if c.Rank() == 0 {
+			return mpi.Send(c, make([]byte, size), 1, 0)
+		}
+		return mpi.Recv(c, make([]byte, size), 0, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "elapsed", w.Elapsed(), testAlpha+size/testBW)
+}
+
+func TestDataIntegrity(t *testing.T) {
+	g := starGraph(t, 2)
+	w := newTestWorld(t, g, 1)
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	got := make([]byte, len(payload))
+	err := w.Run(func(c mpi.Comm) error {
+		if c.Rank() == 0 {
+			return mpi.Send(c, payload, 1, 5)
+		}
+		return mpi.Recv(c, got, 0, 5)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload corrupted: %q", got)
+	}
+}
+
+func TestFullDuplexNoContention(t *testing.T) {
+	// Opposite directions of a link are independent channels: a<->b swap
+	// takes the same time as a single message.
+	g := starGraph(t, 2)
+	w := newTestWorld(t, g, 0.6)
+	const size = 30000
+	err := w.Run(func(c mpi.Comm) error {
+		peer := 1 - c.Rank()
+		return mpi.Sendrecv(c, make([]byte, size), peer, 0, make([]byte, size), peer, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "elapsed", w.Elapsed(), testAlpha+size/testBW)
+}
+
+func TestSharedLinkFairSharing(t *testing.T) {
+	// Two equal flows into the same machine share its downlink. With ideal
+	// efficiency each gets B/2.
+	g := starGraph(t, 3)
+	w := newTestWorld(t, g, 1)
+	const size = 40000
+	err := w.Run(func(c mpi.Comm) error {
+		switch c.Rank() {
+		case 0:
+			return mpi.Send(c, make([]byte, size), 2, 0)
+		case 1:
+			return mpi.Send(c, make([]byte, size), 2, 0)
+		default:
+			r0 := c.Irecv(make([]byte, size), 0, 0)
+			r1 := c.Irecv(make([]byte, size), 1, 0)
+			return mpi.WaitAll([]mpi.Request{r0, r1})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "elapsed", w.Elapsed(), testAlpha+2*size/testBW)
+}
+
+func TestCongestionPenalty(t *testing.T) {
+	// Same scenario with MinEfficiency = 0.6: the shared link runs at
+	// eff(2) = 0.8 of capacity, so each flow gets 0.4 B.
+	g := starGraph(t, 3)
+	w := newTestWorld(t, g, 0.6)
+	const size = 40000
+	err := w.Run(func(c mpi.Comm) error {
+		switch c.Rank() {
+		case 0, 1:
+			return mpi.Send(c, make([]byte, size), 2, 0)
+		default:
+			r0 := c.Irecv(make([]byte, size), 0, 0)
+			r1 := c.Irecv(make([]byte, size), 1, 0)
+			return mpi.WaitAll([]mpi.Request{r0, r1})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "elapsed", w.Elapsed(), testAlpha+size/(0.4*testBW))
+}
+
+func TestMaxMinRecomputeAfterCompletion(t *testing.T) {
+	// Unequal flows: 10000 and 30000 bytes share a link (ideal fluid). Both
+	// run at B/2 until the short one finishes (t1 = 20000/B); the long one
+	// then gets full bandwidth for its remaining 20000 bytes.
+	g := starGraph(t, 3)
+	w := newTestWorld(t, g, 1)
+	err := w.Run(func(c mpi.Comm) error {
+		switch c.Rank() {
+		case 0:
+			return mpi.Send(c, make([]byte, 10000), 2, 0)
+		case 1:
+			return mpi.Send(c, make([]byte, 30000), 2, 0)
+		default:
+			r0 := c.Irecv(make([]byte, 10000), 0, 0)
+			r1 := c.Irecv(make([]byte, 30000), 1, 0)
+			return mpi.WaitAll([]mpi.Request{r0, r1})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "elapsed", w.Elapsed(), testAlpha+20000/testBW+20000/testBW)
+}
+
+func TestInterSwitchBottleneck(t *testing.T) {
+	// Two switches with two machines each; two flows crossing the trunk
+	// share it (ideal fluid -> B/2 each), while their machine links are
+	// uncontended.
+	g := topology.New()
+	s0 := g.MustAddSwitch("s0")
+	s1 := g.MustAddSwitch("s1")
+	g.MustConnect(s0, s1)
+	var m [4]int
+	for i := range m {
+		m[i] = g.MustAddMachine(fmt.Sprintf("n%d", i))
+	}
+	g.MustConnect(s0, m[0])
+	g.MustConnect(s0, m[1])
+	g.MustConnect(s1, m[2])
+	g.MustConnect(s1, m[3])
+	g.MustValidate()
+	w := newTestWorld(t, g, 1)
+	const size = 25000
+	err := w.Run(func(c mpi.Comm) error {
+		switch c.Rank() {
+		case 0:
+			return mpi.Send(c, make([]byte, size), 2, 0)
+		case 1:
+			return mpi.Send(c, make([]byte, size), 3, 0)
+		case 2:
+			return mpi.Recv(c, make([]byte, size), 0, 0)
+		default:
+			return mpi.Recv(c, make([]byte, size), 1, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "elapsed", w.Elapsed(), testAlpha+2*size/testBW)
+}
+
+func TestStartupLatencySerializesPhases(t *testing.T) {
+	// Two back-to-back messages on the same path pay alpha twice.
+	g := starGraph(t, 2)
+	w := newTestWorld(t, g, 1)
+	const size = 10000
+	err := w.Run(func(c mpi.Comm) error {
+		for round := 0; round < 2; round++ {
+			if c.Rank() == 0 {
+				if err := mpi.Send(c, make([]byte, size), 1, round); err != nil {
+					return err
+				}
+			} else {
+				if err := mpi.Recv(c, make([]byte, size), 0, round); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "elapsed", w.Elapsed(), 2*(testAlpha+size/testBW))
+}
+
+func TestSelfMessage(t *testing.T) {
+	g := starGraph(t, 2)
+	w := newTestWorld(t, g, 1)
+	data := []byte("self")
+	got := make([]byte, 4)
+	err := w.Run(func(c mpi.Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		r := c.Irecv(got, 0, 0)
+		if err := mpi.Send(c, data, 0, 0); err != nil {
+			return err
+		}
+		return r.Wait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "self" {
+		t.Errorf("self message corrupted: %q", got)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	g := starGraph(t, 2)
+	w := newTestWorld(t, g, 1)
+	err := w.Run(func(c mpi.Comm) error {
+		if c.Rank() == 0 {
+			// Receive that will never be matched.
+			return mpi.Recv(c, make([]byte, 1), 1, 42)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want deadlock error, got success")
+	}
+}
+
+func TestBarrierCost(t *testing.T) {
+	g := starGraph(t, 4)
+	w, err := NewWorld(Config{
+		Graph:          g,
+		LinkBandwidth:  testBW,
+		StartupLatency: testAlpha,
+		MinEfficiency:  1,
+		BarrierLatency: 7e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(c mpi.Comm) error { return c.Barrier() }); err != nil {
+		t.Fatal(err)
+	}
+	near(t, "elapsed", w.Elapsed(), 7e-3)
+}
+
+func TestBarrierSeparatesRounds(t *testing.T) {
+	g := starGraph(t, 2)
+	w, err := NewWorld(Config{
+		Graph:          g,
+		LinkBandwidth:  testBW,
+		StartupLatency: testAlpha,
+		MinEfficiency:  1,
+		BarrierLatency: 2e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 10000
+	err = w.Run(func(c mpi.Comm) error {
+		if c.Rank() == 0 {
+			if err := mpi.Send(c, make([]byte, size), 1, 0); err != nil {
+				return err
+			}
+		} else if err := mpi.Recv(c, make([]byte, size), 0, 0); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			return mpi.Send(c, make([]byte, size), 0, 1)
+		}
+		return mpi.Recv(c, make([]byte, size), 1, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "elapsed", w.Elapsed(), (testAlpha+size/testBW)+2e-3+(testAlpha+size/testBW))
+}
+
+func TestDeterminism(t *testing.T) {
+	// The same all-to-all program must give bit-identical virtual times on
+	// repeated runs despite goroutine nondeterminism.
+	run := func() float64 {
+		g := starGraph(t, 8)
+		w := newTestWorld(t, g, 0.6)
+		err := w.Run(func(c mpi.Comm) error {
+			n := c.Size()
+			var reqs []mpi.Request
+			for p := 0; p < n; p++ {
+				if p == c.Rank() {
+					continue
+				}
+				reqs = append(reqs, c.Irecv(make([]byte, 20000), p, 0))
+				reqs = append(reqs, c.Isend(make([]byte, 20000), p, 0))
+			}
+			return mpi.WaitAll(reqs)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Elapsed()
+	}
+	a := run()
+	for i := 0; i < 5; i++ {
+		if b := run(); b != a {
+			t.Fatalf("nondeterministic: %.12g vs %.12g", a, b)
+		}
+	}
+}
+
+func TestLinkStatsAccounting(t *testing.T) {
+	g := starGraph(t, 2)
+	w := newTestWorld(t, g, 1)
+	const size = 12345
+	err := w.Run(func(c mpi.Comm) error {
+		if c.Rank() == 0 {
+			return mpi.Send(c, make([]byte, size), 1, 0)
+		}
+		return mpi.Recv(c, make([]byte, size), 0, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, ls := range w.LinkStats() {
+		total += ls.Bytes
+	}
+	// The message crosses two directed links (n0->sw, sw->n1).
+	near(t, "total link bytes", total, 2*size)
+	if w.FlowCount() != 1 {
+		t.Errorf("FlowCount = %d, want 1", w.FlowCount())
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	g := starGraph(t, 2)
+	w := newTestWorld(t, g, 1)
+	err := w.Run(func(c mpi.Comm) error {
+		if c.Rank() == 0 {
+			return mpi.Send(c, make([]byte, 100), 1, 0)
+		}
+		return mpi.Recv(c, make([]byte, 10), 0, 0)
+	})
+	if err == nil {
+		t.Fatal("want truncation error")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := starGraph(t, 2)
+	cases := []Config{
+		{},
+		{Graph: g, LinkBandwidth: -1},
+		{Graph: g, StartupLatency: -1},
+		{Graph: g, MinEfficiency: 1.5},
+		{Graph: g, MinEfficiency: -0.1},
+	}
+	for i, cfg := range cases {
+		if _, err := NewWorld(cfg); err == nil {
+			t.Errorf("case %d: want config error", i)
+		}
+	}
+	// Defaults fill in.
+	w, err := NewWorld(Config{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.cfg.LinkBandwidth != DefaultLinkBandwidth ||
+		w.cfg.StartupLatency != DefaultStartupLatency ||
+		w.cfg.MinEfficiency != DefaultMinEfficiency ||
+		w.cfg.BarrierLatency <= 0 {
+		t.Errorf("defaults not applied: %+v", w.cfg)
+	}
+}
+
+func TestManyRanksAllToAllFinishes(t *testing.T) {
+	// Smoke test at the paper's scale: 24 ranks, naive all-to-all.
+	g := starGraph(t, 24)
+	w := newTestWorld(t, g, 0.6)
+	const size = 8192
+	err := w.Run(func(c mpi.Comm) error {
+		n := c.Size()
+		var reqs []mpi.Request
+		for off := 1; off < n; off++ {
+			p := (c.Rank() + off) % n
+			reqs = append(reqs, c.Irecv(make([]byte, size), p, 0))
+			reqs = append(reqs, c.Isend(make([]byte, size), p, 0))
+		}
+		return mpi.WaitAll(reqs)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Elapsed() <= 0 {
+		t.Error("no virtual time elapsed")
+	}
+	// Lower bound: a machine link must carry 23 messages.
+	if lb := 23 * size / testBW; w.Elapsed() < lb {
+		t.Errorf("elapsed %.6g below physical lower bound %.6g", w.Elapsed(), lb)
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	run := func(frac float64, seed uint64) float64 {
+		g := starGraph(t, 6)
+		w, err := NewWorld(Config{
+			Graph:          g,
+			LinkBandwidth:  testBW,
+			StartupLatency: testAlpha,
+			MinEfficiency:  1,
+			JitterFrac:     frac,
+			JitterSeed:     seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(c mpi.Comm) error {
+			n := c.Size()
+			var reqs []mpi.Request
+			for p := 0; p < n; p++ {
+				if p == c.Rank() {
+					continue
+				}
+				reqs = append(reqs, c.Irecv(make([]byte, 5000), p, 0))
+				reqs = append(reqs, c.Isend(make([]byte, 5000), p, 0))
+			}
+			return mpi.WaitAll(reqs)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Elapsed()
+	}
+	base := run(0, 1)
+	j1a := run(0.5, 1)
+	j1b := run(0.5, 1)
+	j2 := run(0.5, 2)
+	if j1a != j1b {
+		t.Errorf("same seed gave different times: %v vs %v", j1a, j1b)
+	}
+	if j1a == j2 {
+		t.Errorf("different seeds gave identical times: %v", j1a)
+	}
+	if j1a < base {
+		t.Errorf("jitter %v should not beat the jitter-free run %v", j1a, base)
+	}
+	// Jitter adds at most JitterFrac * alpha per message on the critical
+	// path; with everything concurrent that is one extra alpha at most.
+	if j1a > base+0.5*testAlpha+1e-9 {
+		t.Errorf("jitter overhead too large: %v vs %v", j1a, base)
+	}
+}
+
+func TestJitterValidation(t *testing.T) {
+	g := starGraph(t, 2)
+	if _, err := NewWorld(Config{Graph: g, JitterFrac: -0.5}); err == nil {
+		t.Error("want error for negative jitter")
+	}
+}
+
+func TestHeterogeneousLinkSpeeds(t *testing.T) {
+	// Two flows crossing a 10x trunk both run at full machine-link rate:
+	// the trunk has capacity to spare, so elapsed time matches a single
+	// uncontended transfer.
+	g := topology.New()
+	s0 := g.MustAddSwitch("s0")
+	s1 := g.MustAddSwitch("s1")
+	g.MustConnectSpeed(s0, s1, 10)
+	var m [4]int
+	for i := range m {
+		m[i] = g.MustAddMachine(fmt.Sprintf("h%d", i))
+	}
+	g.MustConnect(s0, m[0])
+	g.MustConnect(s0, m[1])
+	g.MustConnect(s1, m[2])
+	g.MustConnect(s1, m[3])
+	g.MustValidate()
+	w := newTestWorld(t, g, 1)
+	const size = 20000
+	err := w.Run(func(c mpi.Comm) error {
+		switch c.Rank() {
+		case 0:
+			return mpi.Send(c, make([]byte, size), 2, 0)
+		case 1:
+			return mpi.Send(c, make([]byte, size), 3, 0)
+		case 2:
+			return mpi.Recv(c, make([]byte, size), 0, 0)
+		default:
+			return mpi.Recv(c, make([]byte, size), 1, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, "elapsed", w.Elapsed(), testAlpha+size/testBW)
+}
+
+func TestControlLatency(t *testing.T) {
+	// A 32-byte message pays the control latency; a large one pays the full
+	// startup latency.
+	run := func(size int, control float64) float64 {
+		g := starGraph(t, 2)
+		w, err := NewWorld(Config{
+			Graph:          g,
+			LinkBandwidth:  testBW,
+			StartupLatency: testAlpha,
+			MinEfficiency:  1,
+			ControlLatency: control,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(c mpi.Comm) error {
+			if c.Rank() == 0 {
+				return mpi.Send(c, make([]byte, size), 1, 0)
+			}
+			return mpi.Recv(c, make([]byte, size), 0, 0)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Elapsed()
+	}
+	const ctl = 1e-4
+	near(t, "small with control latency", run(32, ctl), ctl+32/testBW)
+	near(t, "large unaffected", run(10000, ctl), testAlpha+10000/testBW)
+	near(t, "small without knob", run(32, 0), testAlpha+32/testBW)
+	if _, err := NewWorld(Config{Graph: starGraph(t, 2), ControlLatency: -1}); err == nil {
+		t.Error("want error for negative control latency")
+	}
+}
+
+func TestCommNowAndFlowTrace(t *testing.T) {
+	g := starGraph(t, 2)
+	w := newTestWorld(t, g, 1)
+	var mid float64
+	err := w.Run(func(c mpi.Comm) error {
+		if c.Rank() == 0 {
+			if err := mpi.Send(c, make([]byte, 5000), 1, 3); err != nil {
+				return err
+			}
+			mid = c.Now()
+			return nil
+		}
+		return mpi.Recv(c, make([]byte, 5000), 0, 3)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid <= 0 {
+		t.Error("Now did not advance with virtual time")
+	}
+	tr := w.FlowTrace()
+	if len(tr) != 1 {
+		t.Fatalf("FlowTrace = %d records, want 1", len(tr))
+	}
+	r := tr[0]
+	if r.Src != 0 || r.Dst != 1 || r.Tag != 3 || r.Size != 5000 {
+		t.Errorf("record = %+v", r)
+	}
+	if !(r.MatchedAt <= r.StartedAt && r.StartedAt < r.FinishedAt) {
+		t.Errorf("record times out of order: %+v", r)
+	}
+	near(t, "finish", r.FinishedAt, testAlpha+5000/testBW)
+}
+
+func TestPostAfterDeadlockErrors(t *testing.T) {
+	g := starGraph(t, 2)
+	w := newTestWorld(t, g, 1)
+	comms := w.Comms()
+	errs := make(chan error, 2)
+	go func() { errs <- comms[0].Irecv(make([]byte, 1), 1, 9).Wait() }()
+	go func() { errs <- nil }() // rank 1 does nothing; engine needs its finish
+	// Drive via Run-less world: emulate by finishing rank 1 manually is not
+	// exposed; instead use Run with an early-returning rank.
+	_ = errs
+	w2 := newTestWorld(t, g, 1)
+	err := w2.Run(func(c mpi.Comm) error {
+		if c.Rank() == 0 {
+			// First op deadlocks; a second op after the failure must error
+			// immediately.
+			if e := mpi.Recv(c, make([]byte, 1), 1, 9); e == nil {
+				return fmt.Errorf("deadlocked recv returned nil")
+			}
+			if r := c.Isend(make([]byte, 1), 1, 10); r.Wait() == nil {
+				return fmt.Errorf("post-deadlock send returned nil")
+			}
+			return nil
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package syncplan computes the pair-wise synchronizations that preserve a
+// contention-free AAPC schedule at run time (Section 5 of Faraj & Yuan,
+// IPPS 2005).
+//
+// Separating phases with barriers preserves the schedule but pays a full
+// synchronization per phase. The paper instead synchronizes only where it
+// matters: when message a->b in phase p and message c->d in a later phase q
+// would contend on some directed link, node a sends a small synchronization
+// message to node c after completing a->b, and c delays c->d until that
+// message arrives. Synchronizations implied by others (transitively) are
+// redundant and removed, minimizing the number of extra messages.
+package syncplan
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/aapc-sched/aapcsched/internal/schedule"
+	"github.com/aapc-sched/aapcsched/internal/topology"
+)
+
+// Sync orders two data messages of the schedule: After (in an earlier phase)
+// must complete before Before (in a later phase) may start. At run time the
+// source of After sends a small control message to the source of Before.
+type Sync struct {
+	// After is the message that must finish first.
+	After schedule.Message
+	// Before is the message that must wait.
+	Before schedule.Message
+}
+
+// Plan is the synchronization plan for one schedule: the minimal set of
+// pair-wise orderings that prevents any two link-sharing messages from
+// different phases from overlapping.
+type Plan struct {
+	// Syncs lists the required synchronizations, sorted by (After, Before).
+	Syncs []Sync
+	// ConflictPairs is the number of cross-phase conflicting message pairs
+	// before redundancy elimination (the dependence-graph edge count the
+	// naive all-pairs construction would synchronize).
+	ConflictPairs int
+}
+
+// NumSyncs returns the number of synchronization messages the plan inserts.
+func (p *Plan) NumSyncs() int { return len(p.Syncs) }
+
+// Build computes the synchronization plan for a schedule on a topology.
+//
+// Construction: for every directed link, the messages crossing it are
+// ordered by phase (contention freedom guarantees at most one per phase per
+// link); every ordered pair of them is a conflict. The conflict relation is
+// then reduced: a synchronization a->c is redundant when the dependence
+// a ... c is already implied by a chain of other synchronizations. The
+// result is the unique transitive reduction of the conflict DAG (phases give
+// a topological order, so the DAG is acyclic and the reduction unique).
+func Build(g *topology.Graph, s *schedule.Schedule) (*Plan, error) {
+	return build(g, s, false)
+}
+
+// BuildCapacityAware computes the synchronization plan for a
+// capacity-respecting schedule on a heterogeneous cluster (see
+// schedule.VerifyCapacity): messages of the same phase may legitimately
+// share a fast link and need no mutual ordering, so only cross-phase
+// conflicts are synchronized.
+func BuildCapacityAware(g *topology.Graph, s *schedule.Schedule) (*Plan, error) {
+	return build(g, s, true)
+}
+
+func build(g *topology.Graph, s *schedule.Schedule, allowSamePhase bool) (*Plan, error) {
+	idx := g.NewEdgeIndex()
+
+	// msgs enumerates scheduled messages with a dense index in phase order.
+	type node struct {
+		msg   schedule.Message
+		phase int
+	}
+	var nodes []node
+	id := make(map[schedule.Message]int)
+	for pi, p := range s.Phases {
+		for _, m := range p {
+			if _, dup := id[m]; dup {
+				return nil, fmt.Errorf("syncplan: message %v scheduled twice", m)
+			}
+			id[m] = len(nodes)
+			nodes = append(nodes, node{msg: m, phase: pi})
+		}
+	}
+
+	// usersOf[e] lists message indices crossing directed edge e, in phase
+	// order (nodes are appended in phase order already).
+	usersOf := make([][]int, idx.Len())
+	for i, nd := range nodes {
+		for _, e := range g.PathIDs(idx, g.MachineID(nd.msg.Src), g.MachineID(nd.msg.Dst)) {
+			usersOf[e] = append(usersOf[e], i)
+		}
+	}
+
+	// Dependence graph: adjacency via successor sets. An edge u -> v for
+	// every pair of same-link users with phase(u) < phase(v).
+	succ := make([]map[int]bool, len(nodes))
+	for i := range succ {
+		succ[i] = make(map[int]bool)
+	}
+	conflictPairs := 0
+	for e := range usersOf {
+		users := usersOf[e]
+		for a := 0; a < len(users); a++ {
+			for b := a + 1; b < len(users); b++ {
+				u, v := users[a], users[b]
+				if nodes[u].phase == nodes[v].phase {
+					if allowSamePhase {
+						continue
+					}
+					return nil, fmt.Errorf(
+						"syncplan: schedule not contention-free: %v and %v share a link in phase %d",
+						nodes[u].msg, nodes[v].msg, nodes[u].phase)
+				}
+				if !succ[u][v] {
+					succ[u][v] = true
+					conflictPairs++
+				}
+			}
+		}
+	}
+
+	// Transitive reduction. Process candidates in decreasing phase gap so
+	// that reachability via shorter dependencies is available; since the DAG
+	// is leveled by phase, a DFS that avoids the candidate edge itself
+	// decides redundancy. For efficiency, compute reachability per node with
+	// memoized bitsets over the (phase-ordered) node indices.
+	reach := make([][]uint64, len(nodes))
+	words := (len(nodes) + 63) / 64
+	var computeReach func(u int)
+	computeReach = func(u int) {
+		if reach[u] != nil {
+			return
+		}
+		r := make([]uint64, words)
+		// Mark direct successors, then fold in their reachability.
+		// Keep only non-redundant edges: we compute on the reduced graph as
+		// it is being built, which is valid because we reduce edges in
+		// topological order from the last node backward.
+		for v := range succ[u] {
+			r[v/64] |= 1 << (v % 64)
+			computeReach(v)
+			for w := range r {
+				r[w] |= reach[v][w]
+			}
+		}
+		reach[u] = r
+	}
+
+	// Reduce: for each node u (backward), drop successors v reachable
+	// through another successor.
+	order := make([]int, len(nodes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return nodes[order[a]].phase > nodes[order[b]].phase
+	})
+	plan := &Plan{ConflictPairs: conflictPairs}
+	for _, u := range order {
+		// Successors of u sorted by phase ascending; a successor v is
+		// redundant if some other kept successor w (with earlier phase than
+		// v) reaches v.
+		vs := make([]int, 0, len(succ[u]))
+		for v := range succ[u] {
+			vs = append(vs, v)
+		}
+		sort.Slice(vs, func(a, b int) bool {
+			return nodes[vs[a]].phase < nodes[vs[b]].phase
+		})
+		kept := make([]int, 0, len(vs))
+		for _, v := range vs {
+			redundant := false
+			for _, w := range kept {
+				computeReach(w)
+				if reach[w][v/64]&(1<<(v%64)) != 0 {
+					redundant = true
+					break
+				}
+			}
+			if !redundant {
+				kept = append(kept, v)
+			}
+		}
+		// Replace successor set with the kept edges only, so reachability
+		// computed later (for earlier nodes) uses the reduced graph —
+		// reachability is unchanged by removing transitive edges.
+		succ[u] = make(map[int]bool, len(kept))
+		for _, v := range kept {
+			succ[u][v] = true
+			plan.Syncs = append(plan.Syncs, Sync{After: nodes[u].msg, Before: nodes[v].msg})
+		}
+	}
+
+	sort.Slice(plan.Syncs, func(a, b int) bool {
+		x, y := plan.Syncs[a], plan.Syncs[b]
+		if x.After != y.After {
+			if x.After.Src != y.After.Src {
+				return x.After.Src < y.After.Src
+			}
+			return x.After.Dst < y.After.Dst
+		}
+		if x.Before.Src != y.Before.Src {
+			return x.Before.Src < y.Before.Src
+		}
+		return x.Before.Dst < y.Before.Dst
+	})
+	return plan, nil
+}
+
+// ByAfter groups the plan's synchronizations by their After message: the
+// control messages a sender must emit when a given data message completes.
+func (p *Plan) ByAfter() map[schedule.Message][]schedule.Message {
+	out := make(map[schedule.Message][]schedule.Message)
+	for _, s := range p.Syncs {
+		out[s.After] = append(out[s.After], s.Before)
+	}
+	return out
+}
+
+// ByBefore groups the plan's synchronizations by their Before message: the
+// control messages a sender must collect before starting a data message.
+func (p *Plan) ByBefore() map[schedule.Message][]schedule.Message {
+	out := make(map[schedule.Message][]schedule.Message)
+	for _, s := range p.Syncs {
+		out[s.Before] = append(out[s.Before], s.After)
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package topology_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/aapc-sched/aapcsched/internal/topology"
+)
+
+// ExampleParse analyzes a small two-switch cluster.
+func ExampleParse() {
+	g, err := topology.ParseString(`
+switches s0 s1
+machines n0 n1 n2 n3
+link s0 s1
+link s0 n0
+link s0 n1
+link s1 n2
+link s1 n3
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(g)
+	fmt.Println("AAPC load:", g.AAPCLoad())
+	bn := g.BottleneckLinks()[0]
+	fmt.Printf("bottleneck: %s--%s (%dx%d)\n",
+		g.Node(bn.Link.U).Name, g.Node(bn.Link.V).Name, bn.MachinesU, bn.MachinesV)
+	// Output:
+	// cluster{2 switches, 4 machines, 5 links}
+	// AAPC load: 4
+	// bottleneck: s0--s1 (2x2)
+}
+
+// ExampleGraph_FindRoot shows the root identification of Section 4.1.
+func ExampleGraph_FindRoot() {
+	g := topology.New()
+	s0 := g.MustAddSwitch("s0")
+	s1 := g.MustAddSwitch("s1")
+	g.MustConnect(s0, s1)
+	for i, sw := range []int{s0, s0, s0, s1, s1} {
+		m := g.MustAddMachine(fmt.Sprintf("n%d", i))
+		g.MustConnect(sw, m)
+	}
+	g.MustValidate()
+	ri, err := g.FindRoot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("root:", g.Node(ri.Root).Name)
+	for i, st := range ri.Subtrees {
+		fmt.Printf("t%d: machines %v\n", i, st.Machines)
+	}
+	fmt.Println("phases:", ri.NumPhases())
+	// Output:
+	// root: s0
+	// t0: machines [3 4]
+	// t1: machines [0]
+	// t2: machines [1]
+	// t3: machines [2]
+	// phases: 6
+}

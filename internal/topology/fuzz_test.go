@@ -1,0 +1,42 @@
+package topology
+
+import (
+	"testing"
+)
+
+// FuzzParse throws arbitrary text at the DSL parser: it must never panic,
+// and whatever it accepts must be a valid cluster that round-trips through
+// Format.
+func FuzzParse(f *testing.F) {
+	f.Add("switches s0 s1\nmachines a b\nlink s0 s1\nlink s0 a\nlink s1 b\n")
+	f.Add("switch s\nmachine m n\nlink s m\nlink s n\n")
+	f.Add("# only a comment\n")
+	f.Add("link x y")
+	f.Add("switch s\nmachine m\nlink s m 2.5\n")
+	f.Add("machines a b\nlink a b\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseString(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted clusters must satisfy every invariant.
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid cluster: %v\ninput: %q", err, src)
+		}
+		text := g.Format()
+		g2, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("formatted output does not reparse: %v\n%s", err, text)
+		}
+		if g2.Format() != text {
+			t.Fatalf("format not a fixed point:\n%q\nvs\n%q", text, g2.Format())
+		}
+		// Analysis must not panic on any accepted cluster.
+		_ = g.AAPCLoad()
+		if g.NumMachines() >= 2 {
+			if _, err := g.FindRoot(); err != nil {
+				t.Fatalf("FindRoot failed on accepted cluster: %v\n%s", err, text)
+			}
+		}
+	})
+}

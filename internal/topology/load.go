@@ -1,0 +1,268 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LinkLoad is the AAPC load of one physical link: the number of AAPC
+// messages whose path crosses the link in one direction. Because the
+// topology is a tree, both directions of a link always carry the same load
+// (Section 3 of the paper), so one number suffices per link.
+type LinkLoad struct {
+	Link Edge // canonical orientation with U < V
+	// Load = |Mu| * |Mv| where removing the link splits the machines into
+	// Mu and Mv.
+	Load int
+	// MachinesU is the number of machines on the U side of the link.
+	MachinesU int
+	// MachinesV is the number of machines on the V side of the link.
+	MachinesV int
+}
+
+// LinkLoads computes the AAPC load of every physical link. The result is
+// sorted by canonical link order (as returned by Links).
+func (g *Graph) LinkLoads() []LinkLoad {
+	g.ensureValid()
+	rt := g.canonical()
+	total := g.NumMachines()
+	links := g.Links()
+	loads := make([]LinkLoad, len(links))
+	for i, l := range links {
+		// One endpoint is the child of the other in the canonical rooting;
+		// the child's machine count gives the split.
+		var below int
+		switch {
+		case rt.parent[l.V] == l.U:
+			below = rt.machineCount[l.V]
+		case rt.parent[l.U] == l.V:
+			below = rt.machineCount[l.U]
+		default:
+			panic(fmt.Sprintf("topology: link %v not in canonical tree", l))
+		}
+		lu := total - below
+		lv := below
+		if rt.parent[l.U] == l.V {
+			lu, lv = lv, lu
+		}
+		loads[i] = LinkLoad{Link: l, Load: lu * lv, MachinesU: lu, MachinesV: lv}
+	}
+	return loads
+}
+
+// AAPCLoad returns the load of the AAPC pattern on the cluster: the load of
+// a bottleneck link. This is the minimum number of contention-free phases in
+// which AAPC can complete, and therefore the phase count achieved by the
+// paper's scheduling algorithm.
+func (g *Graph) AAPCLoad() int {
+	max := 0
+	for _, ll := range g.LinkLoads() {
+		if ll.Load > max {
+			max = ll.Load
+		}
+	}
+	return max
+}
+
+// BottleneckLinks returns every link whose load equals the AAPC load.
+func (g *Graph) BottleneckLinks() []LinkLoad {
+	loads := g.LinkLoads()
+	max := 0
+	for _, ll := range loads {
+		if ll.Load > max {
+			max = ll.Load
+		}
+	}
+	var out []LinkLoad
+	for _, ll := range loads {
+		if ll.Load == max {
+			out = append(out, ll)
+		}
+	}
+	return out
+}
+
+// BestCaseTime returns the lower bound on AAPC completion time from
+// Section 3: load * msize / bandwidth, with msize in bytes and bandwidth in
+// bytes per second. The result is in seconds.
+func (g *Graph) BestCaseTime(msize int, bandwidth float64) float64 {
+	return float64(g.AAPCLoad()) * float64(msize) / bandwidth
+}
+
+// PeakAggregateThroughput returns the peak aggregate AAPC throughput bound
+// from Section 3: |M| * (|M|-1) * B / (|Mu| * |Mv|), in the same units as
+// the per-link bandwidth B.
+func (g *Graph) PeakAggregateThroughput(bandwidth float64) float64 {
+	m := g.NumMachines()
+	return float64(m) * float64(m-1) * bandwidth / float64(g.AAPCLoad())
+}
+
+// Subtree describes one branch hanging off the scheduling root in the
+// two-level view of the network (Fig. 2 of the paper).
+type Subtree struct {
+	// Top is the node attached directly to the root (a switch or a machine).
+	Top int
+	// Machines lists the machine ranks in the subtree, in increasing rank
+	// order. Position j in this list is the paper's node t_{i,j}.
+	Machines []int
+}
+
+// RootInfo is the result of the root identification procedure (Section 4.1).
+type RootInfo struct {
+	// Root is the node ID of the scheduling root. It is always a switch.
+	Root int
+	// Subtrees are the branches of the root ordered by decreasing machine
+	// count (ties broken by Top node ID), matching the paper's
+	// |M0| >= |M1| >= ... >= |Mk-1| convention. Branches with no machines
+	// are omitted: they carry no AAPC traffic.
+	Subtrees []Subtree
+}
+
+// NumPhases returns |M0| * (|M| - |M0|): the number of phases the paper's
+// schedule uses, which equals the AAPC load of the cluster.
+func (ri *RootInfo) NumPhases() int {
+	total := 0
+	for _, t := range ri.Subtrees {
+		total += len(t.Machines)
+	}
+	m0 := len(ri.Subtrees[0].Machines)
+	return m0 * (total - m0)
+}
+
+// SubtreeOf returns the index of the subtree containing the machine rank,
+// and the position of the machine within that subtree (the paper's t_{i,j}
+// coordinates).
+func (ri *RootInfo) SubtreeOf(rank int) (subtree, pos int) {
+	for i, t := range ri.Subtrees {
+		for j, r := range t.Machines {
+			if r == rank {
+				return i, j
+			}
+		}
+	}
+	return -1, -1
+}
+
+// FindRoot runs the root identification procedure from Section 4.1: start
+// from a bottleneck link, move toward the side with at least half the
+// machines until reaching a node with more than one machine-bearing branch.
+// The resulting root is a switch each of whose subtrees contains at most
+// |M|/2 machines (Lemma 1).
+//
+// FindRoot requires |M| >= 2. For |M| >= 3 the result is the scheduling root
+// used by the phase-construction algorithm.
+func (g *Graph) FindRoot() (*RootInfo, error) {
+	g.ensureValid()
+	if g.NumMachines() < 2 {
+		return nil, fmt.Errorf("topology: FindRoot needs at least 2 machines, have %d",
+			g.NumMachines())
+	}
+	bns := g.BottleneckLinks()
+	bl := bns[0].Link
+	// Orient the bottleneck link so that v is the heavy side (|Mu| <= |Mv|):
+	// the paper walks into the side with more machines.
+	u, v := bl.U, bl.V
+	if bns[0].MachinesU > bns[0].MachinesV {
+		u, v = v, u
+	}
+	// Walk from v away from u until v has more than one machine-bearing
+	// branch (excluding the branch back toward u).
+	prev := u
+	cur := v
+	for {
+		branches := 0
+		var next int
+		for _, w := range g.adj[cur] {
+			if w == prev {
+				continue
+			}
+			if g.machinesBeyond(cur, w) > 0 {
+				branches++
+				next = w
+			}
+		}
+		if branches != 1 {
+			break
+		}
+		// Exactly one machine-bearing branch: the link (next, cur) is also a
+		// bottleneck link; repeat the process from it.
+		prev, cur = cur, next
+	}
+	if g.nodes[cur].Kind == Machine {
+		// Possible only when |M| == 2 (both machines hang off one link); the
+		// machine's single switch is the natural root.
+		cur = g.adj[cur][0]
+	}
+	return g.rootInfoAt(cur)
+}
+
+// machinesBeyond counts machines in the branch reached from node `from`
+// through neighbor `through` (i.e. in the component of through after
+// removing the link from-through).
+func (g *Graph) machinesBeyond(from, through int) int {
+	rt := g.canonical()
+	if rt.parent[through] == from {
+		return rt.machineCount[through]
+	}
+	// through is the parent of from: the branch is everything except from's
+	// subtree.
+	return g.NumMachines() - rt.machineCount[from]
+}
+
+// rootInfoAt builds the two-level subtree view for a given root node.
+func (g *Graph) rootInfoAt(root int) (*RootInfo, error) {
+	if g.nodes[root].Kind != Switch {
+		return nil, fmt.Errorf("topology: root %s is not a switch", g.nodes[root].Name)
+	}
+	ri := &RootInfo{Root: root}
+	for _, w := range g.adj[root] {
+		ranks := g.machineRanksBeyond(root, w)
+		if len(ranks) == 0 {
+			continue
+		}
+		sort.Ints(ranks)
+		ri.Subtrees = append(ri.Subtrees, Subtree{Top: w, Machines: ranks})
+	}
+	if len(ri.Subtrees) == 0 {
+		return nil, fmt.Errorf("topology: root %s has no machine-bearing branches",
+			g.nodes[root].Name)
+	}
+	sort.SliceStable(ri.Subtrees, func(i, j int) bool {
+		si, sj := ri.Subtrees[i], ri.Subtrees[j]
+		if len(si.Machines) != len(sj.Machines) {
+			return len(si.Machines) > len(sj.Machines)
+		}
+		return si.Top < sj.Top
+	})
+	return ri, nil
+}
+
+// RootInfoAt builds the two-level view for an explicitly chosen root switch.
+// It allows callers (ablation studies, tests) to bypass FindRoot.
+func (g *Graph) RootInfoAt(root int) (*RootInfo, error) {
+	g.ensureValid()
+	return g.rootInfoAt(root)
+}
+
+// machineRanksBeyond lists machine ranks in the branch reached from `from`
+// through `through`.
+func (g *Graph) machineRanksBeyond(from, through int) []int {
+	var ranks []int
+	// BFS within the branch.
+	seen := map[int]bool{from: true, through: true}
+	queue := []int{through}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if g.nodes[x].Kind == Machine {
+			ranks = append(ranks, g.rank[x])
+		}
+		for _, y := range g.adj[x] {
+			if !seen[y] {
+				seen[y] = true
+				queue = append(queue, y)
+			}
+		}
+	}
+	return ranks
+}

@@ -1,0 +1,213 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The topology DSL is a line-oriented text format:
+//
+//	# comment
+//	switch  s0 s1 s2          # declare switches
+//	machine n0 n1 n2 n3       # declare machines (rank order = declaration order)
+//	link    s0 s1             # full-duplex link
+//	link    s0 n0 10          # optional speed multiplier (10x trunk)
+//
+// Keywords may repeat, blank lines and #-comments are ignored.
+
+// Parse reads a cluster description in the topology DSL and validates it.
+func Parse(r io.Reader) (*Graph, error) {
+	g := New()
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "switch", "switches":
+			for _, name := range fields[1:] {
+				if _, err := g.AddSwitch(name); err != nil {
+					return nil, fmt.Errorf("line %d: %w", lineno, err)
+				}
+			}
+		case "machine", "machines":
+			for _, name := range fields[1:] {
+				if _, err := g.AddMachine(name); err != nil {
+					return nil, fmt.Errorf("line %d: %w", lineno, err)
+				}
+			}
+		case "link":
+			if len(fields) != 3 && len(fields) != 4 {
+				return nil, fmt.Errorf("line %d: link needs 2 endpoints and an optional speed", lineno)
+			}
+			u, ok := g.Lookup(fields[1])
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown node %q", lineno, fields[1])
+			}
+			v, ok := g.Lookup(fields[2])
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown node %q", lineno, fields[2])
+			}
+			speed := 1.0
+			if len(fields) == 4 {
+				s, err := strconv.ParseFloat(fields[3], 64)
+				if err != nil || s <= 0 {
+					return nil, fmt.Errorf("line %d: bad link speed %q", lineno, fields[3])
+				}
+				speed = s
+			}
+			if err := g.ConnectSpeed(u, v, speed); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineno, err)
+			}
+		default:
+			return nil, fmt.Errorf("line %d: unknown keyword %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Graph, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Write emits the cluster in the topology DSL. Parsing the output
+// reconstructs an identical graph (same names, ranks and links).
+func (g *Graph) Write(w io.Writer) error {
+	var switches, machines []string
+	for _, n := range g.nodes {
+		if n.Kind == Switch {
+			switches = append(switches, n.Name)
+		}
+	}
+	for _, id := range g.machines {
+		machines = append(machines, g.nodes[id].Name)
+	}
+	bw := bufio.NewWriter(w)
+	if len(switches) > 0 {
+		fmt.Fprintf(bw, "switches %s\n", strings.Join(switches, " "))
+	}
+	if len(machines) > 0 {
+		fmt.Fprintf(bw, "machines %s\n", strings.Join(machines, " "))
+	}
+	links := g.Links()
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].U != links[j].U {
+			return links[i].U < links[j].U
+		}
+		return links[i].V < links[j].V
+	})
+	for _, l := range links {
+		if s := g.LinkSpeed(l); s != 1 {
+			fmt.Fprintf(bw, "link %s %s %g\n", g.nodes[l.U].Name, g.nodes[l.V].Name, s)
+		} else {
+			fmt.Fprintf(bw, "link %s %s\n", g.nodes[l.U].Name, g.nodes[l.V].Name)
+		}
+	}
+	return bw.Flush()
+}
+
+// Format returns the DSL text for the cluster.
+func (g *Graph) Format() string {
+	var sb strings.Builder
+	if err := g.Write(&sb); err != nil {
+		panic(err) // strings.Builder never fails
+	}
+	return sb.String()
+}
+
+// ParseWiring reads the same DSL as Parse but permits cycles and redundant
+// links between switches (physical cabling before the spanning tree
+// protocol prunes it). Link speeds are not supported on wirings: blocked
+// links make per-cable speeds ambiguous.
+func ParseWiring(r io.Reader) (*Wiring, error) {
+	w := NewWiring()
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "switch", "switches":
+			for _, name := range fields[1:] {
+				if _, err := w.AddSwitch(name); err != nil {
+					return nil, fmt.Errorf("line %d: %w", lineno, err)
+				}
+			}
+		case "machine", "machines":
+			for _, name := range fields[1:] {
+				if _, err := w.AddMachine(name); err != nil {
+					return nil, fmt.Errorf("line %d: %w", lineno, err)
+				}
+			}
+		case "link":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: wiring links take exactly 2 endpoints", lineno)
+			}
+			u, ok := w.byName[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown node %q", lineno, fields[1])
+			}
+			v, ok := w.byName[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown node %q", lineno, fields[2])
+			}
+			if err := w.Connect(u, v); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineno, err)
+			}
+		default:
+			return nil, fmt.Errorf("line %d: unknown keyword %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// DOT renders the cluster in Graphviz dot syntax: switches as boxes,
+// machines as circles, non-unit link speeds as edge labels.
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("graph cluster {\n")
+	for _, n := range g.nodes {
+		shape := "circle"
+		if n.Kind == Switch {
+			shape = "box"
+		}
+		fmt.Fprintf(&sb, "  %q [shape=%s];\n", n.Name, shape)
+	}
+	for _, l := range g.Links() {
+		label := ""
+		if s := g.LinkSpeed(l); s != 1 {
+			label = fmt.Sprintf(" [label=\"%gx\"]", s)
+		}
+		fmt.Fprintf(&sb, "  %q -- %q%s;\n", g.nodes[l.U].Name, g.nodes[l.V].Name, label)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

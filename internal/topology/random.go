@@ -1,0 +1,46 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomOptions controls RandomCluster generation.
+type RandomOptions struct {
+	// Switches is the number of switches (>= 1).
+	Switches int
+	// Machines is the number of machines (>= 2).
+	Machines int
+	// Rand is the randomness source; must not be nil.
+	Rand *rand.Rand
+}
+
+// RandomCluster generates a random valid Ethernet switched cluster: a random
+// tree over the switches with machines attached to uniformly random
+// switches. Every generated cluster validates; machine ranks are assigned in
+// name order n0, n1, ...
+//
+// Switches that end up with no machines anywhere beyond them are permitted:
+// they are legal (if pointless) topologies and good stress tests.
+func RandomCluster(opt RandomOptions) *Graph {
+	if opt.Switches < 1 || opt.Machines < 2 {
+		panic(fmt.Sprintf("topology: RandomCluster needs >=1 switch and >=2 machines, got %d/%d",
+			opt.Switches, opt.Machines))
+	}
+	rng := opt.Rand
+	g := New()
+	switches := make([]int, opt.Switches)
+	for i := range switches {
+		switches[i] = g.MustAddSwitch(fmt.Sprintf("s%d", i))
+	}
+	// Random tree over switches: each non-first switch links to a random
+	// earlier one (random recursive tree).
+	for i := 1; i < opt.Switches; i++ {
+		g.MustConnect(switches[i], switches[rng.Intn(i)])
+	}
+	for i := 0; i < opt.Machines; i++ {
+		m := g.MustAddMachine(fmt.Sprintf("n%d", i))
+		g.MustConnect(m, switches[rng.Intn(opt.Switches)])
+	}
+	return g.MustValidate()
+}

@@ -1,0 +1,167 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Physical wirings with redundant links. Section 3 of the paper notes that
+// Ethernet switches run a spanning tree protocol, so the *forwarding*
+// topology is always a tree even when the cabling is not. This file provides
+// the preprocessing step: a Wiring may contain cycles and redundant links;
+// SpanningTree derives the forwarding tree the way IEEE 802.1D-style
+// bridges do — lowest-named switch becomes the root bridge, and every other
+// node keeps the port on its best path to the root (shortest hop count,
+// ties broken by the lexicographically smallest neighbor name).
+
+// Wiring is a raw physical cluster description: an arbitrary connected
+// multigraph of switches and machines (machines still have exactly one
+// link).
+type Wiring struct {
+	names    []string
+	kinds    []Kind
+	byName   map[string]int
+	adj      [][]int
+	numLinks int
+}
+
+// NewWiring returns an empty wiring.
+func NewWiring() *Wiring {
+	return &Wiring{byName: make(map[string]int)}
+}
+
+func (w *Wiring) add(name string, kind Kind) (int, error) {
+	if name == "" {
+		return 0, fmt.Errorf("topology: empty node name")
+	}
+	if _, dup := w.byName[name]; dup {
+		return 0, fmt.Errorf("topology: duplicate node name %q", name)
+	}
+	id := len(w.names)
+	w.names = append(w.names, name)
+	w.kinds = append(w.kinds, kind)
+	w.adj = append(w.adj, nil)
+	w.byName[name] = id
+	return id, nil
+}
+
+// AddSwitch declares a switch.
+func (w *Wiring) AddSwitch(name string) (int, error) { return w.add(name, Switch) }
+
+// AddMachine declares a machine.
+func (w *Wiring) AddMachine(name string) (int, error) { return w.add(name, Machine) }
+
+// Connect cables two nodes. Parallel links and cycles are allowed between
+// switches; machines may have only one cable.
+func (w *Wiring) Connect(u, v int) error {
+	if u < 0 || u >= len(w.names) || v < 0 || v >= len(w.names) {
+		return fmt.Errorf("topology: Connect(%d, %d): node out of range", u, v)
+	}
+	if u == v {
+		return fmt.Errorf("topology: self link on %s", w.names[u])
+	}
+	w.adj[u] = append(w.adj[u], v)
+	w.adj[v] = append(w.adj[v], u)
+	w.numLinks++
+	return nil
+}
+
+// SpanningTree derives the forwarding tree from the wiring:
+//
+//  1. The root bridge is the switch with the lexicographically smallest
+//     name (standing in for the lowest bridge ID).
+//  2. Every node keeps exactly one upstream link: the one on a
+//     minimum-hop path to the root, ties broken by the smallest upstream
+//     neighbor name. All other switch-switch links are blocked.
+//
+// The returned Graph preserves node names and machine declaration order
+// (ranks), so all scheduling applies unchanged.
+func (w *Wiring) SpanningTree() (*Graph, error) {
+	n := len(w.names)
+	if n == 0 {
+		return nil, fmt.Errorf("topology: empty wiring")
+	}
+	// Pick the root bridge.
+	root := -1
+	for i, k := range w.kinds {
+		if k != Switch {
+			continue
+		}
+		if root < 0 || w.names[i] < w.names[root] {
+			root = i
+		}
+	}
+	if root < 0 {
+		return nil, fmt.Errorf("topology: wiring has no switches")
+	}
+	// Machines must have exactly one cable.
+	for i, k := range w.kinds {
+		if k == Machine && len(w.adj[i]) != 1 {
+			return nil, fmt.Errorf("topology: machine %s has %d cables, want 1",
+				w.names[i], len(w.adj[i]))
+		}
+	}
+	// BFS by hop count from the root, visiting neighbors in name order so
+	// the parent choice is the deterministic 802.1D-ish tie-break.
+	parent := make([]int, n)
+	dist := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+		dist[i] = -1
+	}
+	dist[root] = 0
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		// Deduplicate parallel links and order by neighbor name.
+		neighbors := append([]int(nil), w.adj[u]...)
+		sort.Slice(neighbors, func(i, j int) bool {
+			return w.names[neighbors[i]] < w.names[neighbors[j]]
+		})
+		for _, v := range neighbors {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	for i, d := range dist {
+		if d == -1 {
+			return nil, fmt.Errorf("topology: wiring is not connected: %s unreachable",
+				w.names[i])
+		}
+	}
+	// Rebuild as a validated tree, preserving machine rank order.
+	g := New()
+	ids := make([]int, n)
+	for i, name := range w.names {
+		var err error
+		if w.kinds[i] == Switch {
+			ids[i], err = g.AddSwitch(name)
+		} else {
+			ids[i], err = g.AddMachine(name)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for v, p := range parent {
+		if p >= 0 {
+			if err := g.Connect(ids[p], ids[v]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: spanning tree invalid: %w", err)
+	}
+	return g, nil
+}
+
+// BlockedLinks returns the number of physical links the spanning tree
+// disables (redundant cables).
+func (w *Wiring) BlockedLinks() int {
+	return w.numLinks - (len(w.names) - 1)
+}

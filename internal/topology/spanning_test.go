@@ -1,0 +1,254 @@
+package topology
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSpanningTreeRing(t *testing.T) {
+	// Four switches cabled in a ring with one machine each: the spanning
+	// tree must block exactly one switch-switch link and keep everything
+	// reachable.
+	w := NewWiring()
+	var sw [4]int
+	for i := range sw {
+		sw[i], _ = w.AddSwitch("s" + string(rune('0'+i)))
+	}
+	for i := range sw {
+		if err := w.Connect(sw[i], sw[(i+1)%4]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range sw {
+		m, _ := w.AddMachine("m" + string(rune('0'+i)))
+		if err := w.Connect(sw[i], m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := w.SpanningTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLinks() != g.NumNodes()-1 {
+		t.Errorf("not a tree: %d links, %d nodes", g.NumLinks(), g.NumNodes())
+	}
+	if w.BlockedLinks() != 1 {
+		t.Errorf("BlockedLinks = %d, want 1 (the redundant ring cable)", w.BlockedLinks())
+	}
+	// Root bridge is s0 (smallest name); its ring neighbors attach to it
+	// directly, s2 hangs off s1 (name tie-break).
+	s0, _ := g.Lookup("s0")
+	s1, _ := g.Lookup("s1")
+	s2, _ := g.Lookup("s2")
+	s3, _ := g.Lookup("s3")
+	hasLink := func(a, b int) bool {
+		for _, x := range g.Neighbors(a) {
+			if x == b {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasLink(s0, s1) || !hasLink(s0, s3) {
+		t.Error("ring neighbors of the root must keep their root links")
+	}
+	if !hasLink(s1, s2) {
+		t.Error("s2 should attach through s1 (smallest-name tie-break)")
+	}
+	if hasLink(s2, s3) {
+		t.Error("the s2-s3 cable must be blocked")
+	}
+	// The derived tree schedules like any other.
+	if g.AAPCLoad() <= 0 {
+		t.Error("derived tree has no load")
+	}
+}
+
+func TestSpanningTreeParallelLinks(t *testing.T) {
+	// Two switches cabled twice (redundant trunk): one survives.
+	w := NewWiring()
+	a, _ := w.AddSwitch("a")
+	b, _ := w.AddSwitch("b")
+	w.Connect(a, b)
+	w.Connect(a, b)
+	m, _ := w.AddMachine("m")
+	w.Connect(a, m)
+	n, _ := w.AddMachine("n")
+	w.Connect(b, n)
+	g, err := w.SpanningTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLinks() != 3 {
+		t.Errorf("links = %d, want 3", g.NumLinks())
+	}
+	if w.BlockedLinks() != 1 {
+		t.Errorf("BlockedLinks = %d, want 1", w.BlockedLinks())
+	}
+}
+
+func TestSpanningTreePreservesRanks(t *testing.T) {
+	// Machine ranks follow declaration order regardless of tree shape.
+	w := NewWiring()
+	s, _ := w.AddSwitch("s")
+	names := []string{"zeta", "alpha", "mid"}
+	for _, name := range names {
+		m, _ := w.AddMachine(name)
+		w.Connect(s, m)
+	}
+	g, err := w.SpanningTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, want := range names {
+		if got := g.Node(g.MachineID(rank)).Name; got != want {
+			t.Errorf("rank %d = %s, want %s", rank, got, want)
+		}
+	}
+}
+
+func TestSpanningTreeErrors(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		if _, err := NewWiring().SpanningTree(); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("no switches", func(t *testing.T) {
+		w := NewWiring()
+		w.AddMachine("a")
+		if _, err := w.SpanningTree(); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("machine with two cables", func(t *testing.T) {
+		w := NewWiring()
+		s1, _ := w.AddSwitch("s1")
+		s2, _ := w.AddSwitch("s2")
+		w.Connect(s1, s2)
+		m, _ := w.AddMachine("m")
+		w.Connect(s1, m)
+		w.Connect(s2, m)
+		if _, err := w.SpanningTree(); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("disconnected", func(t *testing.T) {
+		w := NewWiring()
+		w.AddSwitch("s1")
+		w.AddSwitch("s2")
+		if _, err := w.SpanningTree(); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("self cable", func(t *testing.T) {
+		w := NewWiring()
+		s, _ := w.AddSwitch("s")
+		if err := w.Connect(s, s); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("dup name", func(t *testing.T) {
+		w := NewWiring()
+		w.AddSwitch("x")
+		if _, err := w.AddMachine("x"); err == nil {
+			t.Error("want error")
+		}
+	})
+}
+
+func TestSpanningTreeRandomMesh(t *testing.T) {
+	// Random connected switch meshes with machines: the derived tree must
+	// always validate and keep every machine.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		w := NewWiring()
+		nsw := 2 + rng.Intn(6)
+		sws := make([]int, nsw)
+		for i := range sws {
+			sws[i], _ = w.AddSwitch("s" + string(rune('a'+i)))
+			if i > 0 {
+				w.Connect(sws[i], sws[rng.Intn(i)]) // ensure connectivity
+			}
+		}
+		// Extra random cables create cycles.
+		for k := 0; k < rng.Intn(5); k++ {
+			a, b := rng.Intn(nsw), rng.Intn(nsw)
+			if a != b {
+				w.Connect(sws[a], sws[b])
+			}
+		}
+		nm := 2 + rng.Intn(8)
+		for i := 0; i < nm; i++ {
+			m, _ := w.AddMachine("m" + string(rune('a'+i)))
+			w.Connect(m, sws[rng.Intn(nsw)])
+		}
+		g, err := w.SpanningTree()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if g.NumMachines() != nm {
+			t.Fatalf("trial %d: machines lost: %d of %d", trial, g.NumMachines(), nm)
+		}
+		if _, err := g.FindRoot(); err != nil {
+			t.Fatalf("trial %d: derived tree unschedulable: %v", trial, err)
+		}
+	}
+}
+
+func TestParseWiring(t *testing.T) {
+	w, err := ParseWiring(strings.NewReader(`
+# redundant square of switches
+switches s0 s1 s2 s3
+machines m0 m1
+link s0 s1
+link s1 s2
+link s2 s3
+link s3 s0
+link s0 m0
+link s2 m1
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := w.SpanningTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLinks() != 5 || w.BlockedLinks() != 1 {
+		t.Errorf("links %d blocked %d, want 5/1", g.NumLinks(), w.BlockedLinks())
+	}
+	for _, bad := range []string{
+		"frob s0",
+		"link a b",
+		"switch s\nlink s",
+		"switch s s",
+	} {
+		if _, err := ParseWiring(strings.NewReader(bad)); err == nil {
+			t.Errorf("want parse error for %q", bad)
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := fig1(t)
+	dot := g.DOT()
+	for _, want := range []string{"graph cluster", `"s0" [shape=box]`, `"n0" [shape=circle]`, `"s0" -- "s1"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Speeds show as labels.
+	h := New()
+	a := h.MustAddSwitch("a")
+	b := h.MustAddSwitch("b")
+	h.MustConnectSpeed(a, b, 10)
+	m := h.MustAddMachine("m")
+	h.MustConnect(a, m)
+	n := h.MustAddMachine("n")
+	h.MustConnect(b, n)
+	h.MustValidate()
+	if !strings.Contains(h.DOT(), `label="10x"`) {
+		t.Errorf("DOT missing speed label:\n%s", h.DOT())
+	}
+}

@@ -1,0 +1,102 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// Link speeds extend the paper's uniform-bandwidth model to heterogeneous
+// Ethernet clusters (e.g. gigabit trunk uplinks feeding 100 Mbps machine
+// links). A link's speed is a multiplier relative to the base bandwidth B:
+// speed 1 is a standard link, speed 10 a 10x-faster trunk. The scheduling
+// algorithm is unchanged — its phases are contention-free regardless of
+// speeds — but the bottleneck analysis and the throughput bounds become
+// weighted: the binding constraint is the link maximizing load/speed.
+
+// ConnectSpeed adds a full-duplex link whose bandwidth is speed times the
+// base link bandwidth. Connect is equivalent to ConnectSpeed with speed 1.
+func (g *Graph) ConnectSpeed(u, v int, speed float64) error {
+	if speed <= 0 {
+		return fmt.Errorf("topology: link speed %v must be positive", speed)
+	}
+	if err := g.Connect(u, v); err != nil {
+		return err
+	}
+	if speed != 1 {
+		if g.speeds == nil {
+			g.speeds = make(map[Edge]float64)
+		}
+		if u > v {
+			u, v = v, u
+		}
+		g.speeds[Edge{U: u, V: v}] = speed
+	}
+	return nil
+}
+
+// MustConnectSpeed is ConnectSpeed that panics on error.
+func (g *Graph) MustConnectSpeed(u, v int, speed float64) {
+	if err := g.ConnectSpeed(u, v, speed); err != nil {
+		panic(err)
+	}
+}
+
+// LinkSpeed returns the speed multiplier of the link containing the edge
+// (either direction), 1 for links added with plain Connect.
+func (g *Graph) LinkSpeed(e Edge) float64 {
+	if g.speeds == nil {
+		return 1
+	}
+	if e.U > e.V {
+		e = e.Reverse()
+	}
+	if s, ok := g.speeds[e]; ok {
+		return s
+	}
+	return 1
+}
+
+// Uniform reports whether every link has the same speed.
+func (g *Graph) Uniform() bool {
+	for _, s := range g.speeds {
+		if s != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// WeightedBottleneck returns the link with the largest load/speed ratio —
+// the link that bounds AAPC completion time on a heterogeneous cluster —
+// together with that ratio (in units of messages per unit base bandwidth).
+func (g *Graph) WeightedBottleneck() (LinkLoad, float64) {
+	var worst LinkLoad
+	ratio := -1.0
+	for _, ll := range g.LinkLoads() {
+		r := float64(ll.Load) / g.LinkSpeed(ll.Link)
+		if r > ratio {
+			ratio = r
+			worst = ll
+		}
+	}
+	return worst, ratio
+}
+
+// WeightedBestCaseTime generalizes BestCaseTime: the completion-time lower
+// bound with per-link speeds, msize in bytes and base bandwidth in bytes per
+// second.
+func (g *Graph) WeightedBestCaseTime(msize int, bandwidth float64) float64 {
+	_, ratio := g.WeightedBottleneck()
+	return ratio * float64(msize) / bandwidth
+}
+
+// WeightedPeakAggregateThroughput generalizes PeakAggregateThroughput to
+// heterogeneous links.
+func (g *Graph) WeightedPeakAggregateThroughput(bandwidth float64) float64 {
+	m := float64(g.NumMachines())
+	_, ratio := g.WeightedBottleneck()
+	if ratio <= 0 {
+		return math.Inf(1)
+	}
+	return m * (m - 1) * bandwidth / ratio
+}

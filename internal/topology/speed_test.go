@@ -1,0 +1,146 @@
+package topology
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// gigaCluster wires two switches (10x trunk) with 3 machines each.
+func gigaCluster(t testing.TB) *Graph {
+	t.Helper()
+	g := New()
+	s0 := g.MustAddSwitch("s0")
+	s1 := g.MustAddSwitch("s1")
+	g.MustConnectSpeed(s0, s1, 10)
+	for i, sw := range []int{s0, s0, s0, s1, s1, s1} {
+		m := g.MustAddMachine("n" + string(rune('0'+i)))
+		g.MustConnect(sw, m)
+	}
+	return g.MustValidate()
+}
+
+func TestLinkSpeedDefaults(t *testing.T) {
+	g := gigaCluster(t)
+	s0, _ := g.Lookup("s0")
+	s1, _ := g.Lookup("s1")
+	n0, _ := g.Lookup("n0")
+	if got := g.LinkSpeed(Edge{s0, s1}); got != 10 {
+		t.Errorf("trunk speed = %v, want 10", got)
+	}
+	if got := g.LinkSpeed(Edge{s1, s0}); got != 10 {
+		t.Errorf("reverse trunk speed = %v, want 10", got)
+	}
+	if got := g.LinkSpeed(Edge{s0, n0}); got != 1 {
+		t.Errorf("machine link speed = %v, want 1", got)
+	}
+	if g.Uniform() {
+		t.Error("cluster with a 10x trunk is not uniform")
+	}
+}
+
+func TestUniformCluster(t *testing.T) {
+	g := New()
+	s := g.MustAddSwitch("s")
+	a := g.MustAddMachine("a")
+	b := g.MustAddMachine("b")
+	g.MustConnectSpeed(s, a, 1) // explicit speed 1 keeps uniformity
+	g.MustConnect(s, b)
+	g.MustValidate()
+	if !g.Uniform() {
+		t.Error("all-speed-1 cluster should be uniform")
+	}
+}
+
+func TestConnectSpeedRejectsBad(t *testing.T) {
+	g := New()
+	s := g.MustAddSwitch("s")
+	m := g.MustAddMachine("m")
+	if err := g.ConnectSpeed(s, m, 0); err == nil {
+		t.Error("want error for zero speed")
+	}
+	if err := g.ConnectSpeed(s, m, -2); err == nil {
+		t.Error("want error for negative speed")
+	}
+}
+
+func TestWeightedBottleneckMoves(t *testing.T) {
+	// With a speed-1 trunk the trunk is the bottleneck (load 9 vs machine
+	// load 5); at 10x the machine links (5/1) dominate the trunk (9/10).
+	slow := New()
+	s0 := slow.MustAddSwitch("s0")
+	s1 := slow.MustAddSwitch("s1")
+	slow.MustConnect(s0, s1)
+	for i, sw := range []int{s0, s0, s0, s1, s1, s1} {
+		m := slow.MustAddMachine("n" + string(rune('0'+i)))
+		slow.MustConnect(sw, m)
+	}
+	slow.MustValidate()
+	wb, ratio := slow.WeightedBottleneck()
+	if wb.Load != 9 || ratio != 9 {
+		t.Errorf("uniform: bottleneck load %d ratio %v, want 9/9", wb.Load, ratio)
+	}
+
+	fast := gigaCluster(t)
+	wb, ratio = fast.WeightedBottleneck()
+	if wb.Load != 5 || ratio != 5 {
+		t.Errorf("giga: bottleneck load %d ratio %v, want machine link 5/5", wb.Load, ratio)
+	}
+	// Weighted peak improves from 6*5*B/9 to 6*5*B/5 = 6B.
+	if got, want := fast.WeightedPeakAggregateThroughput(100), 600.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("weighted peak = %v, want %v", got, want)
+	}
+	if got, want := fast.WeightedBestCaseTime(1000, 100), 50.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("weighted best case = %v, want %v", got, want)
+	}
+	// The unweighted analysis still reports the trunk.
+	if fast.AAPCLoad() != 9 {
+		t.Errorf("unweighted load = %d, want 9", fast.AAPCLoad())
+	}
+}
+
+func TestSpeedDSLRoundTrip(t *testing.T) {
+	src := `
+switches s0 s1
+machines a b c d
+link s0 s1 10
+link s0 a
+link s0 b
+link s1 c 2.5
+link s1 d
+`
+	g, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, _ := g.Lookup("s0")
+	s1, _ := g.Lookup("s1")
+	c, _ := g.Lookup("c")
+	if g.LinkSpeed(Edge{s0, s1}) != 10 || g.LinkSpeed(Edge{s1, c}) != 2.5 {
+		t.Fatalf("parsed speeds wrong")
+	}
+	text := g.Format()
+	if !strings.Contains(text, "link s0 s1 10") || !strings.Contains(text, "link s1 c 2.5") {
+		t.Errorf("formatted output missing speeds:\n%s", text)
+	}
+	g2, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Format() != text {
+		t.Errorf("speed round trip mismatch")
+	}
+}
+
+func TestSpeedDSLErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"bad speed":      "switch s\nmachine m\nlink s m zoom",
+		"zero speed":     "switch s\nmachine m\nlink s m 0",
+		"negative speed": "switch s\nmachine m\nlink s m -3",
+		"extra field":    "switch s\nmachine m\nlink s m 1 1",
+	} {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("%s: want parse error", name)
+		}
+	}
+}

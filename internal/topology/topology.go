@@ -1,0 +1,312 @@
+// Package topology models Ethernet switched clusters as tree networks.
+//
+// An Ethernet switched cluster consists of machines connected to switches.
+// Because Ethernet switches determine forwarding paths with a spanning-tree
+// protocol, the effective physical topology is always a tree (Section 3 of
+// Faraj & Yuan, IPPS 2005). The package provides the tree graph model, the
+// unique-path computation, per-edge AAPC load analysis, bottleneck
+// identification, the peak aggregate throughput bound, and the root
+// identification procedure from Section 4.1 of the paper.
+//
+// Nodes are either switches or machines. Machines must be leaves. Links are
+// full duplex: each physical link (u, v) corresponds to two directed edges
+// (u, v) and (v, u) that carry traffic independently.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Kind distinguishes switches from machines.
+type Kind uint8
+
+const (
+	// Switch nodes forward traffic and may have any degree.
+	Switch Kind = iota
+	// Machine nodes run ranks of the parallel program and must be leaves.
+	Machine
+)
+
+// String returns "switch" or "machine".
+func (k Kind) String() string {
+	switch k {
+	case Switch:
+		return "switch"
+	case Machine:
+		return "machine"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Node is a vertex of the cluster tree.
+type Node struct {
+	// ID is the dense node identifier assigned by the graph.
+	ID int
+	// Name is the human-readable label (e.g. "s0", "n17").
+	Name string
+	// Kind tells whether the node is a Switch or a Machine.
+	Kind Kind
+}
+
+// Edge is a directed edge (U, V) of the cluster graph. A physical link
+// between u and v corresponds to the two edges (u, v) and (v, u).
+type Edge struct {
+	U, V int
+}
+
+// Reverse returns the oppositely directed edge.
+func (e Edge) Reverse() Edge { return Edge{U: e.V, V: e.U} }
+
+// Graph is an Ethernet switched cluster: a tree of switches and machines.
+//
+// The zero value is an empty graph ready for use. Nodes are added with
+// AddSwitch and AddMachine, links with Connect. Query methods that depend on
+// the tree structure (paths, loads, roots) require a successful Validate or
+// any builder that validates internally; they panic on malformed graphs only
+// where documented, otherwise they return errors.
+type Graph struct {
+	nodes []Node
+	adj   [][]int // adjacency lists by node ID
+
+	// machines lists machine node IDs in rank order: machines[r] is the
+	// node ID of MPI rank r.
+	machines []int
+	// rank maps node ID to machine rank, -1 for switches.
+	rank []int
+
+	// name index for lookups and duplicate detection.
+	byName map[string]int
+
+	// speeds holds per-link speed multipliers (canonical U < V orientation);
+	// links absent from the map have speed 1.
+	speeds map[Edge]float64
+
+	validated  bool
+	cachedRoot *rooted
+}
+
+// New returns an empty cluster graph.
+func New() *Graph {
+	return &Graph{byName: make(map[string]int)}
+}
+
+func (g *Graph) addNode(name string, kind Kind) (int, error) {
+	if g.byName == nil {
+		g.byName = make(map[string]int)
+	}
+	if name == "" {
+		return 0, errors.New("topology: empty node name")
+	}
+	if _, dup := g.byName[name]; dup {
+		return 0, fmt.Errorf("topology: duplicate node name %q", name)
+	}
+	id := len(g.nodes)
+	g.nodes = append(g.nodes, Node{ID: id, Name: name, Kind: kind})
+	g.adj = append(g.adj, nil)
+	g.byName[name] = id
+	if kind == Machine {
+		g.machines = append(g.machines, id)
+		g.rank = append(g.rank, len(g.machines)-1)
+	} else {
+		g.rank = append(g.rank, -1)
+	}
+	g.validated = false
+	return id, nil
+}
+
+// AddSwitch adds a switch node with the given name and returns its ID.
+func (g *Graph) AddSwitch(name string) (int, error) {
+	return g.addNode(name, Switch)
+}
+
+// AddMachine adds a machine node with the given name and returns its ID.
+// Machines are assigned consecutive ranks in the order they are added.
+func (g *Graph) AddMachine(name string) (int, error) {
+	return g.addNode(name, Machine)
+}
+
+// MustAddSwitch is AddSwitch that panics on error; for tests and literals.
+func (g *Graph) MustAddSwitch(name string) int {
+	id, err := g.AddSwitch(name)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// MustAddMachine is AddMachine that panics on error; for tests and literals.
+func (g *Graph) MustAddMachine(name string) int {
+	id, err := g.AddMachine(name)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Connect adds a full-duplex link between nodes u and v.
+func (g *Graph) Connect(u, v int) error {
+	if u < 0 || u >= len(g.nodes) || v < 0 || v >= len(g.nodes) {
+		return fmt.Errorf("topology: Connect(%d, %d): node out of range", u, v)
+	}
+	if u == v {
+		return fmt.Errorf("topology: Connect(%d, %d): self link", u, v)
+	}
+	for _, w := range g.adj[u] {
+		if w == v {
+			return fmt.Errorf("topology: duplicate link between %s and %s",
+				g.nodes[u].Name, g.nodes[v].Name)
+		}
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.validated = false
+	return nil
+}
+
+// MustConnect is Connect that panics on error; for tests and literals.
+func (g *Graph) MustConnect(u, v int) {
+	if err := g.Connect(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// NumNodes returns the total number of nodes (switches and machines).
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumMachines returns |M|, the number of machines.
+func (g *Graph) NumMachines() int { return len(g.machines) }
+
+// NumSwitches returns |S|, the number of switches.
+func (g *Graph) NumSwitches() int { return len(g.nodes) - len(g.machines) }
+
+// NumLinks returns the number of physical (full-duplex) links.
+func (g *Graph) NumLinks() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id int) Node { return g.nodes[id] }
+
+// Lookup returns the node ID for a name.
+func (g *Graph) Lookup(name string) (int, bool) {
+	id, ok := g.byName[name]
+	return id, ok
+}
+
+// MachineID returns the node ID of the machine with the given rank.
+func (g *Graph) MachineID(rank int) int { return g.machines[rank] }
+
+// RankOf returns the machine rank of a node ID, or -1 if it is a switch.
+func (g *Graph) RankOf(id int) int { return g.rank[id] }
+
+// Machines returns the machine node IDs in rank order. The caller must not
+// modify the returned slice.
+func (g *Graph) Machines() []int { return g.machines }
+
+// Neighbors returns the adjacency list of a node. The caller must not modify
+// the returned slice.
+func (g *Graph) Neighbors(id int) []int { return g.adj[id] }
+
+// Degree returns the number of links incident to the node.
+func (g *Graph) Degree(id int) int { return len(g.adj[id]) }
+
+// Links enumerates every physical link once, as the directed edge with
+// U < V.
+func (g *Graph) Links() []Edge {
+	var links []Edge
+	for u, a := range g.adj {
+		for _, v := range a {
+			if u < v {
+				links = append(links, Edge{U: u, V: v})
+			}
+		}
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].U != links[j].U {
+			return links[i].U < links[j].U
+		}
+		return links[i].V < links[j].V
+	})
+	return links
+}
+
+// Validate checks that the graph is a well-formed Ethernet switched cluster:
+// non-empty, connected, acyclic (a tree), and with every machine a leaf.
+func (g *Graph) Validate() error {
+	n := len(g.nodes)
+	if n == 0 {
+		return errors.New("topology: empty graph")
+	}
+	if len(g.machines) == 0 {
+		return errors.New("topology: no machines")
+	}
+	// A tree with n nodes has exactly n-1 links.
+	if got := g.NumLinks(); got != n-1 {
+		return fmt.Errorf("topology: %d links for %d nodes; a tree needs %d",
+			got, n, n-1)
+	}
+	// Connectivity by BFS; with n-1 links, connected implies acyclic.
+	seen := make([]bool, n)
+	queue := []int{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	if count != n {
+		return fmt.Errorf("topology: graph is not connected (%d of %d nodes reachable)",
+			count, n)
+	}
+	for _, m := range g.machines {
+		if len(g.adj[m]) != 1 {
+			return fmt.Errorf("topology: machine %s must be a leaf (degree %d)",
+				g.nodes[m].Name, len(g.adj[m]))
+		}
+		if g.nodes[g.adj[m][0]].Kind != Switch {
+			return fmt.Errorf("topology: machine %s must connect to a switch, not to %s",
+				g.nodes[m].Name, g.nodes[g.adj[m][0]].Name)
+		}
+	}
+	g.validated = true
+	return nil
+}
+
+// MustValidate panics if the graph is malformed; for tests and literals.
+func (g *Graph) MustValidate() *Graph {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ensureValid panics on graphs that were never validated successfully. Query
+// methods that rely on tree structure call this so misuse fails loudly
+// rather than returning silently wrong analysis.
+func (g *Graph) ensureValid() {
+	if !g.validated {
+		if err := g.Validate(); err != nil {
+			panic("topology: graph not valid: " + err.Error())
+		}
+	}
+}
+
+// String summarizes the cluster.
+func (g *Graph) String() string {
+	return fmt.Sprintf("cluster{%d switches, %d machines, %d links}",
+		g.NumSwitches(), g.NumMachines(), g.NumLinks())
+}

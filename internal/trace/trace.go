@@ -1,0 +1,187 @@
+// Package trace turns the simulator's flow records into human-readable
+// pictures and statistics: per-sender Gantt charts of when each rank's
+// messages were in flight, and aggregate numbers (busy fractions, control
+// versus data traffic) that make schedule behaviour — phase structure,
+// drift, synchronization stalls — visible at a glance.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/aapc-sched/aapcsched/internal/simnet"
+)
+
+// ControlSizeMax classifies flows: messages of at most this many bytes are
+// counted as control traffic (the scheduled algorithm's synchronization
+// messages are 1 byte).
+const ControlSizeMax = 64
+
+// Timeline is an analyzed set of flow records.
+type Timeline struct {
+	records []simnet.FlowRecord
+	ranks   int
+	end     float64
+}
+
+// New builds a timeline from the flow records of a finished simulation run.
+func New(records []simnet.FlowRecord) *Timeline {
+	tl := &Timeline{records: append([]simnet.FlowRecord(nil), records...)}
+	for _, r := range tl.records {
+		if r.Src+1 > tl.ranks {
+			tl.ranks = r.Src + 1
+		}
+		if r.Dst+1 > tl.ranks {
+			tl.ranks = r.Dst + 1
+		}
+		if r.FinishedAt > tl.end {
+			tl.end = r.FinishedAt
+		}
+	}
+	sort.SliceStable(tl.records, func(i, j int) bool {
+		return tl.records[i].StartedAt < tl.records[j].StartedAt
+	})
+	return tl
+}
+
+// Duration returns the time of the last flow completion.
+func (tl *Timeline) Duration() float64 { return tl.end }
+
+// NumFlows returns the number of recorded flows.
+func (tl *Timeline) NumFlows() int { return len(tl.records) }
+
+// Stats summarizes a timeline.
+type Stats struct {
+	// DataFlows and ControlFlows partition the flows by ControlSizeMax.
+	DataFlows    int
+	ControlFlows int
+	// DataBytes is the payload volume moved by data flows.
+	DataBytes int
+	// MeanSenderBusy is the mean over ranks of the fraction of the run each
+	// rank spent with at least one outgoing data flow in flight.
+	MeanSenderBusy float64
+	// MaxConcurrentData is the peak number of simultaneously active data
+	// flows.
+	MaxConcurrentData int
+}
+
+// Stats computes aggregate statistics.
+func (tl *Timeline) Stats() Stats {
+	var st Stats
+	type edge struct {
+		at    float64
+		delta int
+	}
+	var edges []edge
+	busy := make([]float64, tl.ranks)
+	for _, r := range tl.records {
+		if r.Size <= ControlSizeMax {
+			st.ControlFlows++
+			continue
+		}
+		st.DataFlows++
+		st.DataBytes += r.Size
+		edges = append(edges, edge{r.StartedAt, 1}, edge{r.FinishedAt, -1})
+		if r.Src < tl.ranks {
+			busy[r.Src] += r.FinishedAt - r.StartedAt
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		return edges[i].delta < edges[j].delta // process ends before starts at ties
+	})
+	cur := 0
+	for _, e := range edges {
+		cur += e.delta
+		if cur > st.MaxConcurrentData {
+			st.MaxConcurrentData = cur
+		}
+	}
+	if tl.end > 0 && tl.ranks > 0 {
+		total := 0.0
+		for _, b := range busy {
+			total += b / tl.end
+		}
+		st.MeanSenderBusy = total / float64(tl.ranks)
+	}
+	return st
+}
+
+// Gantt renders a per-sender timeline of data flows: one row per rank,
+// time bucketed into width columns. Each cell shows the destination of the
+// flow in flight ('0'-'9', 'a'-'z' beyond 9, '*' when several overlap,
+// '.' when idle). Control flows are omitted.
+func (tl *Timeline) Gantt(width int) string {
+	if width < 10 {
+		width = 60
+	}
+	if tl.end == 0 || tl.ranks == 0 {
+		return "(empty timeline)\n"
+	}
+	rows := make([][]byte, tl.ranks)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	mark := func(dst int) byte {
+		switch {
+		case dst < 10:
+			return byte('0' + dst)
+		case dst < 36:
+			return byte('a' + dst - 10)
+		default:
+			return '#'
+		}
+	}
+	for _, r := range tl.records {
+		if r.Size <= ControlSizeMax || r.Src >= tl.ranks {
+			continue
+		}
+		lo := int(r.StartedAt / tl.end * float64(width))
+		hi := int(r.FinishedAt / tl.end * float64(width))
+		if hi >= width {
+			hi = width - 1
+		}
+		for x := lo; x <= hi; x++ {
+			switch rows[r.Src][x] {
+			case '.':
+				rows[r.Src][x] = mark(r.Dst)
+			default:
+				rows[r.Src][x] = '*'
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sender timeline over %.3f ms (columns of %.3f ms; cells name the destination)\n",
+		tl.end*1e3, tl.end/float64(width)*1e3)
+	for rank, row := range rows {
+		fmt.Fprintf(&sb, "rank %2d |%s|\n", rank, row)
+	}
+	return sb.String()
+}
+
+// PhaseProfile buckets data-flow start times and reports how many flows
+// start in each bucket — for a well-synchronized schedule the starts
+// cluster into the schedule's phases.
+func (tl *Timeline) PhaseProfile(buckets int) []int {
+	if buckets <= 0 {
+		buckets = 10
+	}
+	out := make([]int, buckets)
+	if tl.end == 0 {
+		return out
+	}
+	for _, r := range tl.records {
+		if r.Size <= ControlSizeMax {
+			continue
+		}
+		b := int(r.StartedAt / tl.end * float64(buckets))
+		if b >= buckets {
+			b = buckets - 1
+		}
+		out[b]++
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/aapc-sched/aapcsched/internal/alltoall"
+	"github.com/aapc-sched/aapcsched/internal/harness"
+	"github.com/aapc-sched/aapcsched/internal/mpi"
+	"github.com/aapc-sched/aapcsched/internal/simnet"
+)
+
+// runTraced executes one all-to-all on the Fig. 1 cluster and returns its
+// timeline.
+func runTraced(t *testing.T, fn alltoall.Func, msize int) *Timeline {
+	t.Helper()
+	g := harness.Fig1()
+	w, err := simnet.NewWorld(simnet.Config{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c mpi.Comm) error {
+		return fn(c, alltoall.NewShared(msize), msize)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(w.FlowTrace())
+}
+
+func TestTimelineFromScheduledRun(t *testing.T) {
+	g := harness.Fig1()
+	sc, err := harness.CompileRoutine(g, alltoall.PairwiseSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := runTraced(t, sc.Fn(), 32<<10)
+	st := tl.Stats()
+	// 30 data messages (6 ranks all-to-all, self handled locally) plus the
+	// 46 synchronization messages of the Fig. 1 plan.
+	if st.DataFlows != 30 {
+		t.Errorf("DataFlows = %d, want 30", st.DataFlows)
+	}
+	if st.ControlFlows != sc.SyncCount() {
+		t.Errorf("ControlFlows = %d, want %d", st.ControlFlows, sc.SyncCount())
+	}
+	if st.DataBytes != 30*(32<<10) {
+		t.Errorf("DataBytes = %d", st.DataBytes)
+	}
+	if tl.Duration() <= 0 || tl.NumFlows() != 30+sc.SyncCount() {
+		t.Errorf("Duration %v NumFlows %d", tl.Duration(), tl.NumFlows())
+	}
+	if st.MeanSenderBusy <= 0 || st.MeanSenderBusy > 1 {
+		t.Errorf("MeanSenderBusy = %v", st.MeanSenderBusy)
+	}
+	// The schedule never lets two data flows share a link; on this cluster
+	// at most 4 data flows run at once (one per scheduled message of a
+	// phase), never 30 like the unscheduled baseline.
+	if st.MaxConcurrentData > 6 {
+		t.Errorf("MaxConcurrentData = %d for the scheduled run", st.MaxConcurrentData)
+	}
+}
+
+func TestScheduledVsSimpleConcurrency(t *testing.T) {
+	g := harness.Fig1()
+	sc, err := harness.CompileRoutine(g, alltoall.PairwiseSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours := runTraced(t, sc.Fn(), 16<<10).Stats()
+	lam := runTraced(t, alltoall.Simple, 16<<10).Stats()
+	if lam.MaxConcurrentData <= ours.MaxConcurrentData {
+		t.Errorf("LAM concurrency %d should exceed scheduled %d",
+			lam.MaxConcurrentData, ours.MaxConcurrentData)
+	}
+	if lam.DataFlows != ours.DataFlows {
+		t.Errorf("both should move 30 data flows: %d vs %d", lam.DataFlows, ours.DataFlows)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	g := harness.Fig1()
+	sc, err := harness.CompileRoutine(g, alltoall.PairwiseSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := runTraced(t, sc.Fn(), 32<<10)
+	gantt := tl.Gantt(72)
+	lines := strings.Split(strings.TrimRight(gantt, "\n"), "\n")
+	if len(lines) != 1+6 {
+		t.Fatalf("gantt has %d lines, want header+6:\n%s", len(lines), gantt)
+	}
+	for _, rank := range []string{"rank  0", "rank  5"} {
+		if !strings.Contains(gantt, rank) {
+			t.Errorf("gantt missing %q", rank)
+		}
+	}
+	// Every rank sends at some point, so no row is all idle.
+	for _, line := range lines[1:] {
+		if !strings.ContainsAny(line, "0123456789") {
+			t.Errorf("idle gantt row: %s", line)
+		}
+	}
+}
+
+func TestPhaseProfile(t *testing.T) {
+	g := harness.Fig1()
+	sc, err := harness.CompileRoutine(g, alltoall.PairwiseSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := runTraced(t, sc.Fn(), 32<<10)
+	prof := tl.PhaseProfile(9)
+	total := 0
+	for _, n := range prof {
+		total += n
+	}
+	if total != 30 {
+		t.Errorf("profile counts %d flows, want 30", total)
+	}
+	// Default bucket count.
+	if got := tl.PhaseProfile(0); len(got) != 10 {
+		t.Errorf("default buckets = %d", len(got))
+	}
+}
+
+func TestEmptyTimeline(t *testing.T) {
+	tl := New(nil)
+	if tl.Duration() != 0 || tl.NumFlows() != 0 {
+		t.Error("empty timeline not empty")
+	}
+	if !strings.Contains(tl.Gantt(40), "empty") {
+		t.Error("empty gantt should say so")
+	}
+	st := tl.Stats()
+	if st.DataFlows != 0 || st.MeanSenderBusy != 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+}
+
+func TestUtilizationReport(t *testing.T) {
+	g := harness.Fig1()
+	sc, err := harness.CompileRoutine(g, alltoall.PairwiseSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := simnet.NewWorld(simnet.Config{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const msize = 64 << 10
+	if err := w.Run(func(c mpi.Comm) error {
+		return sc.Fn()(c, alltoall.NewShared(msize), msize)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep := UtilizationReport(g, w.LinkStats(), w.Elapsed())
+	// The bottleneck s0--s1 must appear first (highest utilization).
+	lines := strings.Split(rep, "\n")
+	if len(lines) < 10 {
+		t.Fatalf("report too short:\n%s", rep)
+	}
+	if !strings.Contains(lines[1], "s0 -- s1") {
+		t.Errorf("bottleneck link not ranked first:\n%s", rep)
+	}
+	if !strings.Contains(rep, "%") || !strings.Contains(rep, "#") {
+		t.Errorf("report missing bars/percentages:\n%s", rep)
+	}
+	// Empty inputs degrade gracefully.
+	if !strings.Contains(UtilizationReport(g, nil, 0), "no utilization") {
+		t.Error("empty report should say so")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if bar(-1, 4) != "[----]" || bar(2, 4) != "[####]" || bar(0.5, 4) != "[##--]" {
+		t.Errorf("bar rendering wrong: %q %q %q", bar(-1, 4), bar(2, 4), bar(0.5, 4))
+	}
+}
+
+func TestPhaseProfileShapes(t *testing.T) {
+	// Barrier-separated execution clusters flow starts into phase buckets;
+	// the unscheduled baseline front-loads everything into the first bucket.
+	g := harness.Fig1()
+	barrier, err := harness.CompileRoutine(g, alltoall.BarrierSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profBarrier := runTraced(t, barrier.Fn(), 32<<10).PhaseProfile(9)
+	profLAM := runTraced(t, alltoall.Simple, 32<<10).PhaseProfile(9)
+	if profLAM[0] != 30 {
+		t.Errorf("LAM should start all 30 flows immediately, got %v", profLAM)
+	}
+	if profBarrier[0] >= 30 {
+		t.Errorf("barrier-separated flows should spread across buckets, got %v", profBarrier)
+	}
+	nonEmpty := 0
+	for _, n := range profBarrier {
+		if n > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 5 {
+		t.Errorf("barrier profile too concentrated: %v", profBarrier)
+	}
+}

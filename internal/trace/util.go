@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/aapc-sched/aapcsched/internal/simnet"
+	"github.com/aapc-sched/aapcsched/internal/topology"
+)
+
+// UtilizationReport renders per-link utilization from a finished simulation
+// run: for every physical link, the fraction of its capacity used over the
+// elapsed time, in both directions. A contention-free schedule shows the
+// bottleneck link near 100% and everything else proportional to its load.
+func UtilizationReport(g *topology.Graph, stats []simnet.LinkStats, elapsed float64) string {
+	if elapsed <= 0 || len(stats) == 0 {
+		return "(no utilization data)\n"
+	}
+	// Pair up the two directions of each physical link.
+	type row struct {
+		name     string
+		fwd, rev float64
+	}
+	byLink := make(map[topology.Edge]*row)
+	for _, ls := range stats {
+		e := ls.Edge
+		canon := e
+		if canon.U > canon.V {
+			canon = canon.Reverse()
+		}
+		r, ok := byLink[canon]
+		if !ok {
+			r = &row{name: fmt.Sprintf("%s -- %s", g.Node(canon.U).Name, g.Node(canon.V).Name)}
+			byLink[canon] = r
+		}
+		util := ls.BusySeconds / elapsed
+		if e == canon {
+			r.fwd = util
+		} else {
+			r.rev = util
+		}
+	}
+	rows := make([]*row, 0, len(byLink))
+	for _, r := range byLink {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		mi := rows[i].fwd
+		if rows[i].rev > mi {
+			mi = rows[i].rev
+		}
+		mj := rows[j].fwd
+		if rows[j].rev > mj {
+			mj = rows[j].rev
+		}
+		if mi != mj {
+			return mi > mj
+		}
+		return rows[i].name < rows[j].name
+	})
+	var sb strings.Builder
+	sb.WriteString("link utilization (fraction of capacity, by direction):\n")
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("  %-16s %s %5.1f%%   %s %5.1f%%\n",
+			r.name, bar(r.fwd, 20), r.fwd*100, bar(r.rev, 20), r.rev*100))
+	}
+	return sb.String()
+}
+
+// bar renders a utilization fraction as a fixed-width ASCII bar.
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	fill := int(frac*float64(width) + 0.5)
+	return "[" + strings.Repeat("#", fill) + strings.Repeat("-", width-fill) + "]"
+}
