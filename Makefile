@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check vet build test race bench fuzz
+
+# check is the one-command gate: static analysis, full build, and the test
+# suite under the race detector.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Short fuzz passes over every DSL parser (longer runs: go test -fuzz=... ).
+fuzz:
+	$(GO) test -fuzz=FuzzParseTopology -fuzztime=30s ./internal/topology/
+	$(GO) test -fuzz=FuzzParsePlan -fuzztime=30s ./internal/faults/

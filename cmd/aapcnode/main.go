@@ -25,68 +25,123 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/aapc-sched/aapcsched/internal/alltoall"
+	"github.com/aapc-sched/aapcsched/internal/faults"
 	"github.com/aapc-sched/aapcsched/internal/harness"
 	"github.com/aapc-sched/aapcsched/internal/mpi"
 	"github.com/aapc-sched/aapcsched/internal/mpi/tcp"
 	"github.com/aapc-sched/aapcsched/internal/topology"
 )
 
+// options collects the command-line configuration.
+type options struct {
+	serve      int
+	addr, join string
+	local      bool
+	preset     string
+	file       string
+	alg        string
+	msize      string
+	deadline   time.Duration
+	rendezvous time.Duration
+	faultsSpec string
+}
+
 func main() {
-	var (
-		serve  = flag.Int("serve", 0, "run a coordinator for this many ranks and exit")
-		addr   = flag.String("addr", "127.0.0.1:0", "coordinator listen address (with -serve)")
-		join   = flag.String("join", "", "coordinator address to join as one rank")
-		local  = flag.Bool("local", false, "run coordinator and every rank in this process")
-		preset = flag.String("topo", "fig1", "topology preset (a, b, c, bg, fig1)")
-		file   = flag.String("file", "", "topology DSL file (overrides -topo)")
-		alg    = flag.String("alg", "ours", "algorithm: ours, lam or mpich")
-		msize  = flag.String("msize", "64K", "block size per pair (suffix K or M)")
-	)
+	var o options
+	flag.IntVar(&o.serve, "serve", 0, "run a coordinator for this many ranks and exit")
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:0", "coordinator listen address (with -serve)")
+	flag.StringVar(&o.join, "join", "", "coordinator address to join as one rank")
+	flag.BoolVar(&o.local, "local", false, "run coordinator and every rank in this process")
+	flag.StringVar(&o.preset, "topo", "fig1", "topology preset (a, b, c, bg, fig1)")
+	flag.StringVar(&o.file, "file", "", "topology DSL file (overrides -topo)")
+	flag.StringVar(&o.alg, "alg", "ours", "algorithm: ours, lam or mpich")
+	flag.StringVar(&o.msize, "msize", "64K", "block size per pair (suffix K or M)")
+	flag.DurationVar(&o.deadline, "deadline", 0,
+		"per-operation deadline; 0 waits forever (a dead peer still fails fast with a rank error)")
+	flag.DurationVar(&o.rendezvous, "rendezvous", 30*time.Second,
+		"rendezvous window: coordinator waits this long for all ranks, joiners retry dialing within it")
+	flag.StringVar(&o.faultsSpec, "faults", "",
+		"fault plan: a file path, or inline DSL with ';' as line separator (see internal/faults)")
 	flag.Parse()
-	if err := run(*serve, *addr, *join, *local, *preset, *file, *alg, *msize); err != nil {
-		fmt.Fprintln(os.Stderr, "aapcnode:", err)
+	if err := run(&o); err != nil {
+		if re, ok := mpi.AsRankError(err); ok {
+			fmt.Fprintf(os.Stderr, "aapcnode: peer rank %d failed: %v\n", re.Rank, err)
+		} else {
+			fmt.Fprintln(os.Stderr, "aapcnode:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(serve int, addr, join string, local bool, preset, file, alg, msizeStr string) error {
-	msize, err := parseSize(msizeStr)
+// loadFaults resolves the -faults flag: a readable file wins, otherwise the
+// string is inline DSL with ';' accepted as a line separator. Returns nil
+// when no plan is requested.
+func loadFaults(spec string) (*faults.Plan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if data, err := os.ReadFile(spec); err == nil {
+		return faults.ParsePlanString(string(data))
+	}
+	return faults.ParsePlanString(strings.ReplaceAll(spec, ";", "\n"))
+}
+
+// wrapFaults decorates the comm with the fault plan, if any. Per-process
+// injectors sharing a plan stay globally deterministic: each directed pair
+// stream is consulted only by its source rank, each rank stream only by the
+// rank itself.
+func wrapFaults(c mpi.Comm, plan *faults.Plan, deadline time.Duration) mpi.Comm {
+	if plan == nil {
+		return c
+	}
+	inj := faults.New(plan)
+	inj.SetOpTimeout(deadline)
+	return inj.Wrap(c)
+}
+
+func run(o *options) error {
+	msize, err := parseSize(o.msize)
+	if err != nil {
+		return err
+	}
+	plan, err := loadFaults(o.faultsSpec)
 	if err != nil {
 		return err
 	}
 	switch {
-	case serve > 0:
-		coord, err := tcp.StartCoordinator(addr, serve)
+	case o.serve > 0:
+		coord, err := tcp.StartCoordinator(o.addr, o.serve, tcp.WithRendezvousTimeout(o.rendezvous))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("coordinator for %d ranks on %s\n", serve, coord.Addr())
+		fmt.Printf("coordinator for %d ranks on %s\n", o.serve, coord.Addr())
 		return coord.Wait()
-	case join != "":
-		fn, _, err := buildAlgorithm(preset, file, alg)
+	case o.join != "":
+		fn, _, err := buildAlgorithm(o.preset, o.file, o.alg, o.deadline)
 		if err != nil {
 			return err
 		}
-		c, closeFn, err := tcp.Join(join)
+		c, closeFn, err := tcp.JoinRetry(o.join, o.rendezvous)
 		if err != nil {
 			return err
 		}
 		defer closeFn()
-		return runRank(c, fn, msize, os.Stdout)
-	case local:
-		fn, g, err := buildAlgorithm(preset, file, alg)
+		return runRank(wrapFaults(c, plan, o.deadline), fn, msize, os.Stdout)
+	case o.local:
+		fn, g, err := buildAlgorithm(o.preset, o.file, o.alg, o.deadline)
 		if err != nil {
 			return err
 		}
 		n := g.NumMachines()
-		coord, err := tcp.StartCoordinator("127.0.0.1:0", n)
+		coord, err := tcp.StartCoordinator("127.0.0.1:0", n, tcp.WithRendezvousTimeout(o.rendezvous))
 		if err != nil {
 			return err
 		}
 		fmt.Printf("local world of %d ranks via %s, algorithm %s, msize %s\n",
-			n, coord.Addr(), alg, harness.FormatMsize(msize))
+			n, coord.Addr(), o.alg, harness.FormatMsize(msize))
 		var wg sync.WaitGroup
 		errs := make(chan error, n)
 		var mu sync.Mutex // serialize per-rank report lines
@@ -94,13 +149,13 @@ func run(serve int, addr, join string, local bool, preset, file, alg, msizeStr s
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				c, closeFn, err := tcp.Join(coord.Addr())
+				c, closeFn, err := tcp.JoinRetry(coord.Addr(), o.rendezvous)
 				if err != nil {
 					errs <- err
 					return
 				}
 				defer closeFn()
-				errs <- runRank(c, fn, msize, &lockedWriter{mu: &mu})
+				errs <- runRank(wrapFaults(c, plan, o.deadline), fn, msize, &lockedWriter{mu: &mu})
 			}()
 		}
 		wg.Wait()
@@ -128,8 +183,9 @@ func (w *lockedWriter) Write(p []byte) (int, error) {
 	return os.Stdout.Write(p)
 }
 
-// buildAlgorithm resolves the topology and algorithm choice.
-func buildAlgorithm(preset, file, alg string) (alltoall.Func, *topology.Graph, error) {
+// buildAlgorithm resolves the topology and algorithm choice. A non-zero
+// deadline bounds every blocking step of the scheduled routine.
+func buildAlgorithm(preset, file, alg string, deadline time.Duration) (alltoall.Func, *topology.Graph, error) {
 	var g *topology.Graph
 	var err error
 	if file != "" {
@@ -151,7 +207,7 @@ func buildAlgorithm(preset, file, alg string) (alltoall.Func, *topology.Graph, e
 		if err != nil {
 			return nil, nil, err
 		}
-		return sc.Fn(), g, nil
+		return sc.FnTimeout(deadline), g, nil
 	case "lam":
 		return alltoall.Simple, g, nil
 	case "mpich":

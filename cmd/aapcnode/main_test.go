@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+	"time"
+)
 
 func TestParseSize(t *testing.T) {
 	cases := map[string]int{"64K": 65536, "1M": 1 << 20, "100": 100}
@@ -17,28 +21,71 @@ func TestParseSize(t *testing.T) {
 	}
 }
 
+// opts builds a -local configuration with the defaults the flag set would
+// apply.
+func opts(mutate func(*options)) *options {
+	o := &options{
+		local:      true,
+		preset:     "fig1",
+		alg:        "ours",
+		msize:      "4K",
+		rendezvous: 30 * time.Second,
+	}
+	if mutate != nil {
+		mutate(o)
+	}
+	return o
+}
+
 func TestLocalWorldEndToEnd(t *testing.T) {
 	for _, alg := range []string{"ours", "lam", "mpich"} {
-		if err := run(0, "", "", true, "fig1", "", alg, "4K"); err != nil {
+		if err := run(opts(func(o *options) { o.alg = alg })); err != nil {
 			t.Errorf("alg %s: %v", alg, err)
 		}
 	}
 }
 
+func TestLocalWorldWithDeadline(t *testing.T) {
+	if err := run(opts(func(o *options) { o.deadline = 30 * time.Second })); err != nil {
+		t.Errorf("with deadline: %v", err)
+	}
+}
+
+func TestLocalWorldWithFaultPlan(t *testing.T) {
+	// A transient stall and a message delay must not affect correctness.
+	o := opts(func(o *options) {
+		o.faultsSpec = "seed 7; stall 1 2ms count 2; delay 0 2 1ms count 3"
+		o.deadline = 30 * time.Second
+	})
+	if err := run(o); err != nil {
+		t.Errorf("with fault plan: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run(0, "", "", false, "fig1", "", "ours", "4K"); err == nil {
+	if err := run(opts(func(o *options) { o.local = false })); err == nil {
 		t.Error("want error without a mode")
 	}
-	if err := run(0, "", "", true, "zzz", "", "ours", "4K"); err == nil {
+	if err := run(opts(func(o *options) { o.preset = "zzz" })); err == nil {
 		t.Error("want error for unknown preset")
 	}
-	if err := run(0, "", "", true, "fig1", "", "zzz", "4K"); err == nil {
+	if err := run(opts(func(o *options) { o.alg = "zzz" })); err == nil {
 		t.Error("want error for unknown algorithm")
 	}
-	if err := run(0, "", "", true, "fig1", "", "ours", "bogus"); err == nil {
+	if err := run(opts(func(o *options) { o.msize = "bogus" })); err == nil {
 		t.Error("want error for bad msize")
 	}
-	if err := run(0, "", "127.0.0.1:1", false, "fig1", "", "ours", "4K"); err == nil {
+	if err := run(opts(func(o *options) { o.faultsSpec = "frob 1 2" })); err == nil {
+		t.Error("want error for bad fault plan")
+	}
+	err := run(opts(func(o *options) {
+		o.local = false
+		o.join = "127.0.0.1:1"
+		o.rendezvous = 200 * time.Millisecond
+	}))
+	if err == nil {
 		t.Error("want error joining dead coordinator")
+	} else if !strings.Contains(err.Error(), "dial") && !strings.Contains(err.Error(), "connect") {
+		t.Logf("join error (accepted): %v", err)
 	}
 }

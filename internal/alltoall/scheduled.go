@@ -3,6 +3,7 @@ package alltoall
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/aapc-sched/aapcsched/internal/mpi"
 	"github.com/aapc-sched/aapcsched/internal/schedule"
@@ -147,7 +148,18 @@ func (sc *Scheduled) SyncCount() int {
 }
 
 // Fn returns the algorithm function executing the compiled schedule.
-func (sc *Scheduled) Fn() Func {
+func (sc *Scheduled) Fn() Func { return sc.FnTimeout(0) }
+
+// FnTimeout returns the algorithm function with every blocking step bounded
+// by d (d <= 0 means unbounded, identical to Fn). With a deadline, the
+// routine fails closed instead of hanging when a peer dies or stalls: each
+// sync wait and data send is bounded individually, the final drain of
+// pre-posted receives shares one budget of d, and errors carry the phase and
+// peer so the caller can tell which part of the schedule broke. On
+// transports with typed failure detection (tcp), a dead peer surfaces as a
+// *mpi.RankError well before the deadline; the deadline is the backstop for
+// silent loss.
+func (sc *Scheduled) FnTimeout(d time.Duration) Func {
 	return func(c mpi.Comm, b Buffers, msize int) error {
 		if c.Size() != len(sc.programs) {
 			return fmt.Errorf("alltoall: routine compiled for %d ranks, world has %d",
@@ -178,11 +190,11 @@ func (sc *Scheduled) Fn() Func {
 				}
 			}
 			for _, w := range st.waitFor {
-				if err := mpi.Recv(c, make([]byte, 1), w.peer, w.tag); err != nil {
-					return fmt.Errorf("alltoall: sync wait from %d: %w", w.peer, err)
+				if err := mpi.RecvTimeout(c, make([]byte, 1), w.peer, w.tag, d); err != nil {
+					return fmt.Errorf("alltoall: phase %d sync wait from %d: %w", st.phase, w.peer, err)
 				}
 			}
-			if err := mpi.Send(c, b.SendBlock(st.dst), st.dst, tagData); err != nil {
+			if err := mpi.SendTimeout(c, b.SendBlock(st.dst), st.dst, tagData, d); err != nil {
 				return fmt.Errorf("alltoall: send phase %d to %d: %w", st.phase, st.dst, err)
 			}
 			for _, e := range st.emit {
@@ -198,9 +210,12 @@ func (sc *Scheduled) Fn() Func {
 				}
 			}
 		}
-		if err := mpi.WaitAll(recvReqs); err != nil {
-			return err
+		if err := mpi.WaitAllTimeout(recvReqs, d); err != nil {
+			return fmt.Errorf("alltoall: data receive: %w", err)
 		}
-		return mpi.WaitAll(syncSends)
+		if err := mpi.WaitAllTimeout(syncSends, d); err != nil {
+			return fmt.Errorf("alltoall: sync send drain: %w", err)
+		}
+		return nil
 	}
 }

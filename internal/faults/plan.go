@@ -1,0 +1,357 @@
+// Package faults is a seeded, deterministic fault-injection layer for the
+// mpi transports. A Plan — a list of rules parsed from a small line-oriented
+// DSL or built programmatically — drives an Injector that can wrap any
+// mpi.Comm (message delays, rank stalls, rank kills, lost messages) and
+// plug into the tcp transport's frame writer (connection drops, duplicate
+// delivery, frame delays) through the mpi.FaultInjector hook.
+//
+// Determinism: every decision for the k-th message of a directed pair (or
+// the k-th operation of a rank) depends only on the plan, the seed and k —
+// never on goroutine interleaving. Two runs with the same seed and plan
+// inject the same event sequence per pair, which Events reports in a
+// canonical order for comparison.
+package faults
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind is the kind of fault a rule injects.
+type Kind int
+
+const (
+	// Delay postpones matching messages (src->dst) by Rule.Delay.
+	Delay Kind = iota
+	// Drop discards matching messages. At the frame level (tcp) the
+	// transport breaks the pair connection instead of writing — a
+	// resilient transport recovers by reconnect + retransmit. At the comm
+	// level (mem) the message silently vanishes, so the receiver's
+	// deadline fires.
+	Drop
+	// Dup delivers matching messages twice. Frame level only: above the
+	// matching layer a duplicate is indistinguishable from a real message,
+	// below it the sequence-number guard must discard it.
+	Dup
+	// Stall pauses the rank (Rule.Src) for Rule.Delay before matching
+	// operations.
+	Stall
+	// Kill terminates the rank (Rule.Src) at its After-th operation: every
+	// later operation involving it fails with a typed *mpi.RankError.
+	Kill
+)
+
+// String names the kind with its DSL keyword.
+func (k Kind) String() string {
+	switch k {
+	case Delay:
+		return "delay"
+	case Drop:
+		return "drop"
+	case Dup:
+		return "dup"
+	case Stall:
+		return "stall"
+	case Kill:
+		return "kill"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Any is the wildcard rank for Rule.Src/Dst.
+const Any = -1
+
+// Rule matches a subset of messages (Delay/Drop/Dup: directed pair
+// src->dst) or rank operations (Stall/Kill: rank Src) and injects one
+// fault kind into them.
+type Rule struct {
+	Kind Kind
+	// Src and Dst select the directed pair; Any is a wildcard. Stall and
+	// Kill use Src as the rank and ignore Dst.
+	Src, Dst int
+	// After skips the first After matching messages/operations.
+	After int
+	// Count bounds how many messages/operations the rule affects after the
+	// skip; 0 means unlimited.
+	Count int
+	// Prob injects with this probability per matching message (from the
+	// pair's deterministic stream); 0 or 1 mean always.
+	Prob float64
+	// Delay is the injected duration for Delay and Stall rules.
+	Delay time.Duration
+}
+
+// matches reports whether the rule selects the directed pair.
+func (r *Rule) matchesPair(src, dst int) bool {
+	return (r.Src == Any || r.Src == src) && (r.Dst == Any || r.Dst == dst)
+}
+
+// Plan is a reproducible fault plan: a seed plus an ordered rule list.
+// The zero Plan injects nothing.
+type Plan struct {
+	Seed  int64
+	Rules []Rule
+}
+
+// pairRule and rankRule classify rule kinds.
+func (r *Rule) pairRule() bool { return r.Kind == Delay || r.Kind == Drop || r.Kind == Dup }
+func (r *Rule) rankRule() bool { return r.Kind == Stall || r.Kind == Kill }
+
+// Format renders the plan in the DSL; ParsePlanString(p.Format()) is
+// equivalent to p.
+func (p *Plan) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "seed %d\n", p.Seed)
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		name := func(v int) string {
+			if v == Any {
+				return "*"
+			}
+			return strconv.Itoa(v)
+		}
+		switch r.Kind {
+		case Delay, Drop, Dup:
+			fmt.Fprintf(&sb, "%s %s %s", r.Kind, name(r.Src), name(r.Dst))
+		case Stall:
+			fmt.Fprintf(&sb, "stall %s", name(r.Src))
+		case Kill:
+			fmt.Fprintf(&sb, "kill %s", name(r.Src))
+		}
+		if r.Kind == Delay || r.Kind == Stall {
+			fmt.Fprintf(&sb, " %v", r.Delay)
+		}
+		if r.After > 0 {
+			fmt.Fprintf(&sb, " after %d", r.After)
+		}
+		if r.Count > 0 {
+			fmt.Fprintf(&sb, " count %d", r.Count)
+		}
+		if r.Prob > 0 && r.Prob < 1 {
+			fmt.Fprintf(&sb, " prob %g", r.Prob)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ParsePlan reads a fault plan in the DSL:
+//
+//	# comment
+//	seed 42
+//	delay 0 1 5ms count 3        # delay the first 3 messages 0->1 by 5ms
+//	drop  * 2 prob 0.1           # drop ~10% of messages into rank 2
+//	dup   1 0 after 2 count 1    # duplicate the third message 1->0
+//	stall 3 10ms after 5         # pause rank 3 for 10ms from its 6th op on
+//	kill  4 after 12             # rank 4 dies at its 12th operation
+//
+// Ranks are integers or the wildcard `*`; durations use Go syntax (5ms,
+// 1s). The modifiers after/count/prob may appear in any order.
+func ParsePlan(r io.Reader) (*Plan, error) {
+	p := &Plan{}
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		bad := func(format string, args ...any) error {
+			return fmt.Errorf("faults: line %d: %s", lineno, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "seed":
+			if len(fields) != 2 {
+				return nil, bad("seed takes one integer")
+			}
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, bad("bad seed %q", fields[1])
+			}
+			p.Seed = v
+		case "delay", "drop", "dup", "stall", "kill":
+			rule, rest, err := parseRuleHead(fields)
+			if err != nil {
+				return nil, bad("%v", err)
+			}
+			if err := parseModifiers(&rule, rest); err != nil {
+				return nil, bad("%v", err)
+			}
+			p.Rules = append(p.Rules, rule)
+		default:
+			return nil, bad("unknown keyword %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParsePlanString is ParsePlan over a string.
+func ParsePlanString(s string) (*Plan, error) {
+	return ParsePlan(strings.NewReader(s))
+}
+
+func parseRank(s string) (int, error) {
+	if s == "*" {
+		return Any, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad rank %q", s)
+	}
+	return v, nil
+}
+
+// parseRuleHead consumes the keyword and positional arguments, returning
+// the partial rule and the remaining modifier fields.
+func parseRuleHead(fields []string) (Rule, []string, error) {
+	var r Rule
+	var err error
+	switch fields[0] {
+	case "delay", "drop", "dup":
+		switch fields[0] {
+		case "delay":
+			r.Kind = Delay
+		case "drop":
+			r.Kind = Drop
+		case "dup":
+			r.Kind = Dup
+		}
+		need := 3
+		if r.Kind == Delay {
+			need = 4
+		}
+		if len(fields) < need {
+			return r, nil, fmt.Errorf("%s needs SRC DST%s", fields[0],
+				map[bool]string{true: " DURATION", false: ""}[r.Kind == Delay])
+		}
+		if r.Src, err = parseRank(fields[1]); err != nil {
+			return r, nil, err
+		}
+		if r.Dst, err = parseRank(fields[2]); err != nil {
+			return r, nil, err
+		}
+		if r.Kind == Delay {
+			if r.Delay, err = time.ParseDuration(fields[3]); err != nil || r.Delay < 0 {
+				return r, nil, fmt.Errorf("bad duration %q", fields[3])
+			}
+		}
+		return r, fields[need:], nil
+	case "stall":
+		r.Kind = Stall
+		r.Dst = Any
+		if len(fields) < 3 {
+			return r, nil, fmt.Errorf("stall needs RANK DURATION")
+		}
+		if r.Src, err = parseRank(fields[1]); err != nil {
+			return r, nil, err
+		}
+		if r.Delay, err = time.ParseDuration(fields[2]); err != nil || r.Delay < 0 {
+			return r, nil, fmt.Errorf("bad duration %q", fields[2])
+		}
+		return r, fields[3:], nil
+	case "kill":
+		r.Kind = Kill
+		r.Dst = Any
+		if len(fields) < 2 {
+			return r, nil, fmt.Errorf("kill needs RANK")
+		}
+		if r.Src, err = parseRank(fields[1]); err != nil {
+			return r, nil, err
+		}
+		if r.Src == Any {
+			return r, nil, fmt.Errorf("kill rank cannot be a wildcard")
+		}
+		return r, fields[2:], nil
+	}
+	return r, nil, fmt.Errorf("unknown rule %q", fields[0])
+}
+
+func parseModifiers(r *Rule, fields []string) error {
+	for i := 0; i < len(fields); i += 2 {
+		if i+1 >= len(fields) {
+			return fmt.Errorf("modifier %q needs a value", fields[i])
+		}
+		key, val := fields[i], fields[i+1]
+		switch key {
+		case "after":
+			v, err := strconv.Atoi(val)
+			if err != nil || v < 0 {
+				return fmt.Errorf("bad after %q", val)
+			}
+			r.After = v
+		case "count":
+			v, err := strconv.Atoi(val)
+			if err != nil || v < 1 {
+				return fmt.Errorf("bad count %q", val)
+			}
+			r.Count = v
+		case "prob":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil || v <= 0 || v > 1 {
+				return fmt.Errorf("bad prob %q", val)
+			}
+			r.Prob = v
+		default:
+			return fmt.Errorf("unknown modifier %q", key)
+		}
+	}
+	return nil
+}
+
+// Event is one injected fault, reported by Injector.Events.
+type Event struct {
+	Kind Kind
+	// Src and Dst are the directed pair (Dst == Any for rank events).
+	Src, Dst int
+	// Op is the index of the affected message within its pair stream (or
+	// operation within its rank stream).
+	Op int
+	// Delay is the injected duration for Delay/Stall events.
+	Delay time.Duration
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	if e.Dst == Any {
+		if e.Delay > 0 {
+			return fmt.Sprintf("%s rank %d op %d %v", e.Kind, e.Src, e.Op, e.Delay)
+		}
+		return fmt.Sprintf("%s rank %d op %d", e.Kind, e.Src, e.Op)
+	}
+	if e.Delay > 0 {
+		return fmt.Sprintf("%s %d->%d msg %d %v", e.Kind, e.Src, e.Dst, e.Op, e.Delay)
+	}
+	return fmt.Sprintf("%s %d->%d msg %d", e.Kind, e.Src, e.Dst, e.Op)
+}
+
+// sortEvents puts events in their canonical order: by pair, then stream
+// position — the order determinism is defined over.
+func sortEvents(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		return a.Kind < b.Kind
+	})
+}

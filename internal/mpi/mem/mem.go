@@ -3,6 +3,11 @@
 // reference transport for functional correctness — if an all-to-all
 // algorithm produces the right permutation here, the algorithm logic is
 // right; performance behaviour is the simulator's job.
+//
+// For fault testing, a rank can be killed (KillRank or the mpi.Killer
+// interface on its comm): every pending and future operation involving the
+// dead rank — on any rank — fails with a typed *mpi.RankError, and barriers
+// abort instead of waiting for an arrival that will never come.
 package mem
 
 import (
@@ -21,11 +26,16 @@ type World struct {
 	mu      sync.Mutex
 	sends   map[matchKey][]*op
 	recvs   map[matchKey][]*op
-	barrier struct {
-		gen     int
-		waiting int
-		release chan struct{}
-	}
+	dead    map[int]error
+	barrier *barrierGen
+}
+
+// barrierGen is one generation of the barrier: everyone blocked on it is
+// released together, either cleanly or with an abort error.
+type barrierGen struct {
+	waiting int
+	release chan struct{}
+	err     error
 }
 
 // matchKey identifies a send/receive rendezvous point. MPI ordering applies
@@ -47,17 +57,25 @@ func NewWorld(n int) []mpi.Comm {
 		panic(fmt.Sprintf("mem: world size %d", n))
 	}
 	w := &World{
-		n:     n,
-		start: time.Now(),
-		sends: make(map[matchKey][]*op),
-		recvs: make(map[matchKey][]*op),
+		n:       n,
+		start:   time.Now(),
+		sends:   make(map[matchKey][]*op),
+		recvs:   make(map[matchKey][]*op),
+		dead:    make(map[int]error),
+		barrier: &barrierGen{release: make(chan struct{})},
 	}
-	w.barrier.release = make(chan struct{})
 	comms := make([]mpi.Comm, n)
 	for i := range comms {
 		comms[i] = &comm{w: w, rank: i}
 	}
 	return comms
+}
+
+// NewWorldComms returns the comms and the world itself, for callers that
+// need fault control (KillRank).
+func NewWorldComms(n int) ([]mpi.Comm, *World) {
+	comms := NewWorld(n)
+	return comms, comms[0].(*comm).w
 }
 
 // Run starts fn once per rank on its own goroutine and waits for all of
@@ -77,6 +95,60 @@ func Run(n int, fn func(c mpi.Comm) error) error {
 	return first
 }
 
+// KillRank simulates the death of rank r: pending sends and receives
+// involving r fail with a *mpi.RankError on every rank, as do future ones,
+// and any barrier in progress aborts. Killing a dead rank is a no-op.
+func (w *World) KillRank(r int) error {
+	if r < 0 || r >= w.n {
+		return fmt.Errorf("mem: kill of rank %d out of range [0, %d)", r, w.n)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.dead[r]; ok {
+		return nil
+	}
+	cause := fmt.Errorf("mem: rank %d killed", r)
+	w.dead[r] = cause
+	rankErr := &mpi.RankError{Rank: r, Err: cause}
+	for key, q := range w.sends {
+		if key.src != r && key.dst != r {
+			continue
+		}
+		for _, o := range q {
+			o.done <- rankErr
+		}
+		delete(w.sends, key)
+	}
+	for key, q := range w.recvs {
+		if key.src != r && key.dst != r {
+			continue
+		}
+		for _, o := range q {
+			o.done <- rankErr
+		}
+		delete(w.recvs, key)
+	}
+	// Abort the in-flight barrier generation: the dead rank will never
+	// arrive, so everyone blocked would wait forever.
+	if w.barrier.waiting > 0 {
+		w.barrier.err = rankErr
+		close(w.barrier.release)
+		w.barrier = &barrierGen{release: make(chan struct{})}
+	}
+	return nil
+}
+
+// deadErrLocked returns the typed error for an operation involving a dead
+// endpoint, or nil. Caller holds w.mu.
+func (w *World) deadErrLocked(ranks ...int) error {
+	for _, r := range ranks {
+		if cause, ok := w.dead[r]; ok {
+			return &mpi.RankError{Rank: r, Err: cause}
+		}
+	}
+	return nil
+}
+
 type comm struct {
 	w    *World
 	rank int
@@ -87,16 +159,37 @@ func (c *comm) Size() int { return c.w.n }
 
 func (c *comm) Now() float64 { return time.Since(c.w.start).Seconds() }
 
+// Kill simulates the death of this rank (mpi.Killer).
+func (c *comm) Kill() error { return c.w.KillRank(c.rank) }
+
 type request struct {
 	done chan error
 }
 
 func (r *request) Wait() error { return <-r.done }
 
+// WaitTimeout bounds the wait (mpi.TimedRequest). The operation is
+// abandoned on timeout: its buffer must not be reused, and a late match may
+// still consume it.
+func (r *request) WaitTimeout(d time.Duration) error {
+	if d <= 0 {
+		return <-r.done
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case err := <-r.done:
+		return err
+	case <-t.C:
+		return &mpi.TimeoutError{Op: "wait", After: d}
+	}
+}
+
 // errRequest is an already-failed request.
 type errRequest struct{ err error }
 
-func (r errRequest) Wait() error { return r.err }
+func (r errRequest) Wait() error                     { return r.err }
+func (r errRequest) WaitTimeout(time.Duration) error { return r.err }
 
 func (c *comm) Isend(buf []byte, dst, tag int) mpi.Request {
 	if err := mpi.CheckRank(c, dst); err != nil {
@@ -107,6 +200,10 @@ func (c *comm) Isend(buf []byte, dst, tag int) mpi.Request {
 
 	w := c.w
 	w.mu.Lock()
+	if err := w.deadErrLocked(c.rank, dst); err != nil {
+		w.mu.Unlock()
+		return errRequest{err}
+	}
 	if q := w.recvs[key]; len(q) > 0 {
 		peer := q[0]
 		w.recvs[key] = q[1:]
@@ -138,6 +235,7 @@ func (c *comm) Irecv(buf []byte, src, tag int) mpi.Request {
 	w := c.w
 	w.mu.Lock()
 	if q := w.sends[key]; len(q) > 0 {
+		// A message sent before the source died still matches.
 		peer := q[0]
 		w.sends[key] = q[1:]
 		n := copy(buf, peer.buf)
@@ -153,6 +251,10 @@ func (c *comm) Irecv(buf []byte, src, tag int) mpi.Request {
 		}
 		return &request{done: me.done}
 	}
+	if err := w.deadErrLocked(c.rank, src); err != nil {
+		w.mu.Unlock()
+		return errRequest{err}
+	}
 	w.recvs[key] = append(w.recvs[key], me)
 	w.mu.Unlock()
 	return &request{done: me.done}
@@ -161,18 +263,27 @@ func (c *comm) Irecv(buf []byte, src, tag int) mpi.Request {
 func (c *comm) Barrier() error {
 	w := c.w
 	w.mu.Lock()
-	w.barrier.waiting++
-	if w.barrier.waiting == w.n {
+	if err := w.deadErrLocked(c.rank); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	// A barrier can never complete while any rank is dead; fail fast with
+	// the same typed error every surviving rank sees.
+	for r := range w.dead {
+		err := &mpi.RankError{Rank: r, Err: w.dead[r]}
+		w.mu.Unlock()
+		return err
+	}
+	gen := w.barrier
+	gen.waiting++
+	if gen.waiting == w.n {
 		// Last arrival releases everyone and resets for the next round.
-		close(w.barrier.release)
-		w.barrier.release = make(chan struct{})
-		w.barrier.waiting = 0
-		w.barrier.gen++
+		close(gen.release)
+		w.barrier = &barrierGen{release: make(chan struct{})}
 		w.mu.Unlock()
 		return nil
 	}
-	release := w.barrier.release
 	w.mu.Unlock()
-	<-release
-	return nil
+	<-gen.release
+	return gen.err
 }

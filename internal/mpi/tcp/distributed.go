@@ -27,18 +27,40 @@ import (
 //     sends every joiner its rank, the world size, and all addresses.
 //  3. Joiner r dials every peer p < r (sending the usual from/to
 //     handshake) and accepts connections from every peer p > r.
+//
+// Failure model: the coordinator tracks joiner health during rendezvous —
+// a joiner that disconnects before the world is complete, or a rendezvous
+// that exceeds its deadline, triggers a clean abort broadcast (rank
+// abortRank) so every waiting joiner errors out instead of hanging.
+// JoinRetry dials a not-yet-started coordinator with backoff. Peer failures
+// after the mesh is up surface as typed *mpi.RankError through the matcher.
+
+// abortRank is the rank value the coordinator broadcasts to cancel a
+// rendezvous.
+const abortRank = ^uint32(0)
 
 // Coordinator is the rendezvous point for one distributed world.
 type Coordinator struct {
-	ln   net.Listener
-	n    int
-	done chan error
+	ln      net.Listener
+	n       int
+	timeout time.Duration
+	done    chan error
+}
+
+// CoordinatorOption customizes a Coordinator.
+type CoordinatorOption func(*Coordinator)
+
+// WithRendezvousTimeout aborts the rendezvous (with a broadcast to every
+// joined rank) if the world is not complete within d. Zero means wait
+// forever.
+func WithRendezvousTimeout(d time.Duration) CoordinatorOption {
+	return func(c *Coordinator) { c.timeout = d }
 }
 
 // StartCoordinator listens on addr (e.g. "127.0.0.1:0") for a world of n
 // ranks. It returns immediately; rendezvous proceeds in the background and
 // Wait reports its outcome.
-func StartCoordinator(addr string, n int) (*Coordinator, error) {
+func StartCoordinator(addr string, n int, opts ...CoordinatorOption) (*Coordinator, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("tcp: coordinator world size %d", n)
 	}
@@ -47,6 +69,9 @@ func StartCoordinator(addr string, n int) (*Coordinator, error) {
 		return nil, err
 	}
 	c := &Coordinator{ln: ln, n: n, done: make(chan error, 1)}
+	for _, o := range opts {
+		o(c)
+	}
 	go c.serve()
 	return c, nil
 }
@@ -63,39 +88,98 @@ func (c *Coordinator) Close() error { return c.ln.Close() }
 
 func (c *Coordinator) serve() {
 	defer c.ln.Close()
+	type joinMsg struct {
+		conn net.Conn
+		addr string
+		err  error
+	}
+	// Buffered generously so late accept/handshake goroutines never block
+	// after serve has returned.
+	joinCh := make(chan joinMsg, 2*c.n+4)
+	deathCh := make(chan int, c.n)
+	go func() {
+		for {
+			conn, err := c.ln.Accept()
+			if err != nil {
+				joinCh <- joinMsg{err: err}
+				return
+			}
+			go func(conn net.Conn) {
+				conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+				addr, err := readString(conn)
+				conn.SetReadDeadline(time.Time{})
+				if err != nil {
+					conn.Close()
+					return
+				}
+				joinCh <- joinMsg{conn: conn, addr: addr}
+			}(conn)
+		}
+	}()
+	var timeoutCh <-chan time.Time
+	if c.timeout > 0 {
+		tm := time.NewTimer(c.timeout)
+		defer tm.Stop()
+		timeoutCh = tm.C
+	}
 	type joiner struct {
 		conn net.Conn
 		addr string
 	}
 	joiners := make([]joiner, 0, c.n)
-	for len(joiners) < c.n {
-		conn, err := c.ln.Accept()
-		if err != nil {
-			c.done <- fmt.Errorf("tcp: coordinator accept: %w", err)
-			return
+	abort := func(reason error) {
+		for _, j := range joiners {
+			// Best-effort clean abort broadcast: joiners waiting for their
+			// rank read abortRank and fail with a typed error instead of
+			// hanging on a closed socket.
+			j.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			writeUint32(j.conn, abortRank)
+			j.conn.Close()
 		}
-		addr, err := readString(conn)
-		if err != nil {
-			conn.Close()
-			c.done <- fmt.Errorf("tcp: coordinator handshake: %w", err)
-			return
-		}
-		joiners = append(joiners, joiner{conn: conn, addr: addr})
+		c.done <- reason
 	}
-	for rank, j := range joiners {
-		if err := writeUint32(j.conn, uint32(rank)); err != nil {
-			c.done <- err
-			return
-		}
-		if err := writeUint32(j.conn, uint32(c.n)); err != nil {
-			c.done <- err
-			return
-		}
-		for _, peer := range joiners {
-			if err := writeString(j.conn, peer.addr); err != nil {
-				c.done <- err
+	for len(joiners) < c.n {
+		select {
+		case m := <-joinCh:
+			if m.err != nil {
+				abort(fmt.Errorf("tcp: coordinator accept: %w", m.err))
 				return
 			}
+			idx := len(joiners)
+			joiners = append(joiners, joiner{conn: m.conn, addr: m.addr})
+			// Health monitor: joiners send nothing after their address, so
+			// a successful read — or any error — before rendezvous
+			// completion means the joiner is gone.
+			go func(conn net.Conn, idx int) {
+				var b [1]byte
+				conn.Read(b[:])
+				deathCh <- idx
+			}(m.conn, idx)
+		case idx := <-deathCh:
+			abort(fmt.Errorf("tcp: joiner %d (of %d joined, world %d) died before rendezvous completed",
+				idx, len(joiners), c.n))
+			return
+		case <-timeoutCh:
+			abort(fmt.Errorf("tcp: rendezvous timed out with %d of %d ranks", len(joiners), c.n))
+			return
+		}
+	}
+	for rank, j := range joiners {
+		err := writeUint32(j.conn, uint32(rank))
+		if err == nil {
+			err = writeUint32(j.conn, uint32(c.n))
+		}
+		for _, peer := range joiners {
+			if err != nil {
+				break
+			}
+			err = writeString(j.conn, peer.addr)
+		}
+		if err != nil {
+			// A joiner died mid-book: abort the rest so nobody hangs
+			// waiting for addresses that will never come.
+			abort(fmt.Errorf("tcp: sending address book to rank %d: %w", rank, err))
+			return
 		}
 		j.conn.Close()
 	}
@@ -104,13 +188,25 @@ func (c *Coordinator) serve() {
 
 // Join connects this process to a distributed world through the coordinator
 // and returns its communicator once the full mesh is up. The cleanup
-// function closes all sockets.
+// function closes all sockets. Join fails fast if the coordinator is
+// unreachable; use JoinRetry to tolerate a coordinator that starts later.
 func Join(coordAddr string) (mpi.Comm, func() error, error) {
+	return join(coordAddr, 0)
+}
+
+// JoinRetry is Join with startup retry: dialing the coordinator is retried
+// with exponential backoff until it succeeds or the window elapses. Errors
+// after the dial (an aborted rendezvous, a failed mesh) are not retried.
+func JoinRetry(coordAddr string, window time.Duration) (mpi.Comm, func() error, error) {
+	return join(coordAddr, window)
+}
+
+func join(coordAddr string, retryWindow time.Duration) (mpi.Comm, func() error, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, nil, err
 	}
-	coord, err := net.Dial("tcp", coordAddr)
+	coord, err := dialRetry(coordAddr, retryWindow)
 	if err != nil {
 		ln.Close()
 		return nil, nil, err
@@ -125,6 +221,11 @@ func Join(coordAddr string) (mpi.Comm, func() error, error) {
 		ln.Close()
 		coord.Close()
 		return nil, nil, err
+	}
+	if rank32 == abortRank {
+		ln.Close()
+		coord.Close()
+		return nil, nil, fmt.Errorf("tcp: rendezvous aborted by coordinator")
 	}
 	n32, err := readUint32(coord)
 	if err != nil {
@@ -144,11 +245,12 @@ func Join(coordAddr string) (mpi.Comm, func() error, error) {
 	coord.Close()
 
 	ep := &endpoint{
-		rank:  rank,
-		n:     n,
-		start: time.Now(),
-		conns: make([]net.Conn, n),
-		outq:  make([]*outQueue, n),
+		rank:     rank,
+		n:        n,
+		start:    time.Now(),
+		conns:    make([]net.Conn, n),
+		outq:     make([]*outQueue, n),
+		recvNext: make([]uint64, n),
 		matcher: &matcher{
 			arrived: make(map[matchKey][][]byte),
 			posted:  make(map[matchKey][]*recvOp),
@@ -171,10 +273,7 @@ func Join(coordAddr string) (mpi.Comm, func() error, error) {
 				errs <- fmt.Errorf("tcp: rank %d dialing %d: %w", rank, p, err)
 				return
 			}
-			var hdr [8]byte
-			binary.LittleEndian.PutUint32(hdr[0:4], uint32(rank))
-			binary.LittleEndian.PutUint32(hdr[4:8], uint32(p))
-			if _, err := conn.Write(hdr[:]); err != nil {
+			if err := writeHandshake(conn, rank, p, hsInitial); err != nil {
 				errs <- err
 				return
 			}
@@ -189,7 +288,7 @@ func Join(coordAddr string) (mpi.Comm, func() error, error) {
 				errs <- fmt.Errorf("tcp: rank %d accepting: %w", rank, err)
 				return
 			}
-			var hdr [8]byte
+			var hdr [handshakeLen]byte
 			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 				errs <- err
 				return
@@ -219,16 +318,55 @@ func Join(coordAddr string) (mpi.Comm, func() error, error) {
 	return &distComm{ep: ep}, ep.close, nil
 }
 
+// dialRetry dials addr, retrying with exponential backoff for up to window
+// when window > 0.
+func dialRetry(addr string, window time.Duration) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err == nil || window <= 0 {
+		return conn, err
+	}
+	deadline := time.Now().Add(window)
+	backoff := 10 * time.Millisecond
+	for {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("tcp: coordinator unreachable after %v: %w", window, err)
+		}
+		time.Sleep(backoff)
+		if backoff < 500*time.Millisecond {
+			backoff *= 2
+		}
+		conn, err = net.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+	}
+}
+
 // endpoint is one rank's half of a distributed mesh. It reuses the frame
-// format, matcher and ordered outbound queues of the in-process World.
+// format and matcher of the in-process World. Frames carry sequence numbers
+// and the receive path discards duplicates, so a future retransmitting peer
+// cannot double-match; reconnection itself is currently an in-process World
+// feature.
 type endpoint struct {
 	rank, n int
 	start   time.Time
 	conns   []net.Conn
 	outq    []*outQueue
-	matcher *matcher
+	// recvNext[p] is the next sequence number expected from peer p; only
+	// p's read loop touches entry p.
+	recvNext []uint64
+	matcher  *matcher
 
 	closeOnce sync.Once
+}
+
+// outQueue orders a rank's outbound frames toward one peer and assigns
+// their sequence numbers.
+type outQueue struct {
+	mu       sync.Mutex
+	frames   []*outFrame
+	nextSeq  uint64
+	draining bool
 }
 
 func (ep *endpoint) close() error {
@@ -246,21 +384,39 @@ func (ep *endpoint) readLoop(conn net.Conn, p int) {
 	for {
 		var hdr [headerLen]byte
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			ep.matcher.fail(p, fmt.Errorf("tcp: rank %d reading from %d: %w", ep.rank, p, err))
+			ep.matcher.fail(p, &mpi.RankError{Rank: p,
+				Err: fmt.Errorf("tcp: rank %d reading from %d: %w", ep.rank, p, err)})
 			return
 		}
-		tag := int(int64(binary.LittleEndian.Uint64(hdr[0:8])))
-		size := int(int64(binary.LittleEndian.Uint64(hdr[8:16])))
-		if size < 0 || size > 1<<30 {
-			ep.matcher.fail(p, fmt.Errorf("tcp: rank %d: bad frame size %d from %d", ep.rank, size, p))
+		kind := hdr[0]
+		tag := int(int64(binary.LittleEndian.Uint64(hdr[1:9])))
+		seq := binary.LittleEndian.Uint64(hdr[9:17])
+		size := int(int64(binary.LittleEndian.Uint64(hdr[17:25])))
+		if size < 0 || size > maxFramePayload {
+			ep.matcher.fail(p, &mpi.RankError{Rank: p,
+				Err: fmt.Errorf("tcp: rank %d: bad frame size %d from %d", ep.rank, size, p)})
 			return
 		}
-		payload := make([]byte, size)
-		if _, err := io.ReadFull(conn, payload); err != nil {
-			ep.matcher.fail(p, fmt.Errorf("tcp: rank %d reading payload from %d: %w", ep.rank, p, err))
+		switch kind {
+		case frameAck:
+			// Distributed peers do not retransmit yet; acks are ignored.
+		case frameData:
+			payload := make([]byte, size)
+			if _, err := io.ReadFull(conn, payload); err != nil {
+				ep.matcher.fail(p, &mpi.RankError{Rank: p,
+					Err: fmt.Errorf("tcp: rank %d reading payload from %d: %w", ep.rank, p, err)})
+				return
+			}
+			if seq < ep.recvNext[p] {
+				continue // duplicate re-delivery: discard, never double-match
+			}
+			ep.recvNext[p] = seq + 1
+			ep.matcher.deliver(matchKey{src: p, tag: tag}, payload)
+		default:
+			ep.matcher.fail(p, &mpi.RankError{Rank: p,
+				Err: fmt.Errorf("tcp: rank %d: unknown frame kind %d from %d", ep.rank, kind, p)})
 			return
 		}
-		ep.matcher.deliver(matchKey{src: p, tag: tag}, payload)
 	}
 }
 
@@ -278,15 +434,11 @@ func (ep *endpoint) drain(p int) {
 		q.frames = q.frames[1:]
 		q.mu.Unlock()
 
-		var hdr [headerLen]byte
-		binary.LittleEndian.PutUint64(hdr[0:8], uint64(int64(fr.tag)))
-		binary.LittleEndian.PutUint64(hdr[8:16], uint64(int64(len(fr.buf))))
-		if _, err := conn.Write(hdr[:]); err != nil {
-			fr.done <- err
+		if err := writeFrame(conn, fr); err != nil {
+			fr.done <- &mpi.RankError{Rank: p, Err: err}
 			continue
 		}
-		_, err := conn.Write(fr.buf)
-		fr.done <- err
+		fr.done <- nil
 	}
 }
 
@@ -300,6 +452,11 @@ func (c *distComm) Rank() int    { return c.ep.rank }
 func (c *distComm) Size() int    { return c.ep.n }
 func (c *distComm) Now() float64 { return time.Since(c.ep.start).Seconds() }
 
+// Kill simulates the death of this rank's process: all sockets close, so
+// every peer's pending and future receives from it fail with a typed
+// *mpi.RankError (mpi.Killer).
+func (c *distComm) Kill() error { return c.ep.close() }
+
 func (c *distComm) isend(buf []byte, dst, tag int) mpi.Request {
 	if err := mpi.CheckRank(c, dst); err != nil {
 		return errRequest{err}
@@ -309,9 +466,10 @@ func (c *distComm) isend(buf []byte, dst, tag int) mpi.Request {
 		c.ep.matcher.deliver(matchKey{src: dst, tag: tag}, payload)
 		return errRequest{nil}
 	}
-	fr := &outFrame{tag: tag, buf: buf, done: make(chan error, 1)}
 	q := c.ep.outq[dst]
 	q.mu.Lock()
+	fr := &outFrame{kind: frameData, tag: tag, seq: q.nextSeq, buf: buf, done: make(chan error, 1)}
+	q.nextSeq++
 	q.frames = append(q.frames, fr)
 	if !q.draining {
 		q.draining = true

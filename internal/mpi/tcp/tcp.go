@@ -5,6 +5,15 @@
 // stack — bytes really cross the kernel's network path — while still running
 // in a single process.
 //
+// The transport is resilient by default: every data frame carries a
+// per-pair sequence number, receivers acknowledge delivery, and a broken
+// pair socket is redialed with bounded exponential backoff + jitter while
+// unacknowledged frames are retransmitted. Sequence numbers make
+// re-delivery idempotent — a retried frame that already arrived is
+// discarded, never double-matched. A pair that cannot be reconnected (or a
+// rank killed through KillRank) fails closed: every operation naming the
+// dead peer returns a typed *mpi.RankError instead of hanging.
+//
 // User tags must be non-negative; negative tags are reserved for the
 // barrier protocol.
 package tcp
@@ -13,6 +22,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -20,23 +30,206 @@ import (
 	"github.com/aapc-sched/aapcsched/internal/mpi"
 )
 
+// Frame wire format: kind (1 byte) | tag (int64) | seq (uint64) |
+// payload length (int64) | payload. Ack frames carry the cumulative ack in
+// seq (every data frame with a smaller sequence number has been delivered)
+// and no payload.
+const headerLen = 25
+
+const (
+	frameData byte = 0
+	frameAck  byte = 1
+)
+
+// Pair handshake: from (uint32) | to (uint32) | flags (uint32).
+const (
+	handshakeLen           = 12
+	hsInitial       uint32 = 0
+	hsReconnect     uint32 = 1
+	maxFramePayload        = 1 << 30
+)
+
+// Resilience holds the reconnect/retransmit knobs of a world.
+type Resilience struct {
+	// MaxReconnects bounds redial attempts per connection break.
+	MaxReconnects int
+	// BackoffBase is the first redial delay; attempt k waits
+	// BackoffBase<<k, capped at BackoffMax.
+	BackoffBase time.Duration
+	// BackoffMax caps the redial delay.
+	BackoffMax time.Duration
+	// Jitter is the random fraction (0..1) added to or subtracted from each
+	// backoff delay to avoid lock-step retry storms.
+	Jitter float64
+	// RetransmitLimit bounds the unacknowledged frames buffered per
+	// directed pair; exceeding it fails the pair instead of growing
+	// without bound.
+	RetransmitLimit int
+}
+
+// DefaultResilience returns the default reconnect policy.
+func DefaultResilience() Resilience {
+	return Resilience{
+		MaxReconnects:   6,
+		BackoffBase:     2 * time.Millisecond,
+		BackoffMax:      250 * time.Millisecond,
+		Jitter:          0.25,
+		RetransmitLimit: 1 << 14,
+	}
+}
+
+// Config collects the tunable behaviour of a World.
+type Config struct {
+	// OpDeadline, when positive, bounds every wait inside Barrier and is
+	// the default deadline handed to WaitTimeout-aware callers. Zero means
+	// unbounded.
+	OpDeadline time.Duration
+	// Resilient enables sequence numbers, acks, retransmission and
+	// reconnect. On by default.
+	Resilient bool
+	// Res holds the reconnect knobs (used only when Resilient).
+	Res Resilience
+	// Faults, when non-nil, is consulted once per outbound data frame
+	// (first transmission only) to inject delays, connection drops and
+	// duplicates.
+	Faults mpi.FaultInjector
+}
+
+// Option customizes a World.
+type Option func(*Config)
+
+// WithOpDeadline bounds every barrier wait by d and makes the world's
+// requests honor it as their default deadline.
+func WithOpDeadline(d time.Duration) Option {
+	return func(c *Config) { c.OpDeadline = d }
+}
+
+// WithFaults installs a fault injector consulted per outbound data frame.
+func WithFaults(inj mpi.FaultInjector) Option {
+	return func(c *Config) { c.Faults = inj }
+}
+
+// WithResilience overrides the reconnect policy.
+func WithResilience(r Resilience) Option {
+	return func(c *Config) { c.Resilient = true; c.Res = r }
+}
+
+// WithoutResilience disables sequence numbers, acks and reconnects: a
+// broken pair socket immediately fails the pair, as a plain transport
+// would.
+func WithoutResilience() Option {
+	return func(c *Config) { c.Resilient = false }
+}
+
 // World is a set of ranks connected pairwise by loopback TCP.
 type World struct {
 	n     int
 	start time.Time
-	// conns[r][p] is rank r's connection to peer p (nil on the diagonal).
-	conns [][]net.Conn
-	// outq[r][p] is rank r's ordered outbound frame queue toward peer p.
-	outq     [][]*outQueue
-	matchers []*matcher
-	listener net.Listener
+	cfg   Config
 
+	listener net.Listener
+	addr     string
+	matchers []*matcher
+	// streams[r][p] is rank r's outbound stream toward peer p (nil on the
+	// diagonal). It also holds r's receive cursor for frames from p.
+	streams [][]*sendStream
+	// links[lo][hi] (lo < hi) is the shared connection state of the pair.
+	links [][]*link
+
+	deadMu sync.Mutex
+	dead   map[int]error
+
+	setupMu   sync.Mutex
+	setupCh   chan accepted
+	setupDone bool
+
+	reconnMu   sync.Mutex
+	reconnWait map[pairID]chan net.Conn
+
+	closed    chan struct{}
+	wg        sync.WaitGroup
 	closeOnce sync.Once
 	closeErr  error
 }
 
-// frame header: tag (int64) + payload length (int64).
-const headerLen = 16
+type pairID struct{ lo, hi int }
+
+type accepted struct {
+	conn net.Conn
+	from int
+	to   int
+	err  error
+}
+
+// Link states.
+const (
+	linkUp = iota
+	linkReconnecting
+	linkDown
+)
+
+// link is the shared connection of one unordered rank pair. Both ends of
+// the single TCP connection live in this process: connLo belongs to the
+// lower rank, connHi to the higher. epoch increments on every reconnect so
+// stale readers/writers can detect they raced a replacement.
+type link struct {
+	lo, hi int
+	mu     sync.Mutex
+	cond   *sync.Cond
+	epoch  int
+	connLo net.Conn
+	connHi net.Conn
+	state  int
+	err    error
+}
+
+// acquire returns the current connection end for rank self, blocking while
+// the pair is being reconnected.
+func (lk *link) acquire(self int) (net.Conn, int, error) {
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	for lk.state == linkReconnecting {
+		lk.cond.Wait()
+	}
+	if lk.state == linkDown {
+		return nil, 0, lk.err
+	}
+	if self == lk.lo {
+		return lk.connLo, lk.epoch, nil
+	}
+	return lk.connHi, lk.epoch, nil
+}
+
+// outFrame is one queued outbound frame. done (data frames only) completes
+// on the first successful write — the caller's buffer is copied up front in
+// resilient mode, so completion means "reusable", while delivery is
+// guaranteed by retransmission or surfaced as a pair failure.
+type outFrame struct {
+	kind      byte
+	tag       int
+	seq       uint64
+	buf       []byte
+	done      chan error
+	completed bool
+	consulted bool // fault injector consulted (first transmission)
+}
+
+// sendStream orders rank src's outbound frames toward dst and tracks the
+// retransmit window. recvNext is the unrelated-but-colocated receive
+// cursor: the next sequence number rank src expects FROM dst, kept here so
+// the read loop and ack path share one lock per directed pair.
+type sendStream struct {
+	src, dst int
+	mu       sync.Mutex
+	cond     *sync.Cond
+	nextSeq  uint64
+	queue    []*outFrame
+	unacked  []*outFrame
+	resend   int // index into unacked to retransmit from
+	recvNext uint64
+	failed   error
+	closed   bool
+}
 
 // matcher pairs incoming frames with posted receives for one rank.
 type matcher struct {
@@ -60,111 +253,122 @@ type recvOp struct {
 	done chan error
 }
 
-// outFrame is one queued outbound message.
-type outFrame struct {
-	tag  int
-	buf  []byte
-	done chan error
-}
-
-// outQueue orders a rank's outbound frames toward one peer.
-type outQueue struct {
-	mu       sync.Mutex
-	frames   []*outFrame
-	draining bool
-}
-
 // NewWorld builds an n-rank world over loopback TCP. The returned cleanup
-// function closes every socket; it must be called exactly once.
-func NewWorld(n int) ([]mpi.Comm, func() error, error) {
+// function closes every socket and waits for all transport goroutines to
+// exit; it must be called exactly once.
+func NewWorld(n int, opts ...Option) ([]mpi.Comm, func() error, error) {
 	if n < 1 {
 		return nil, nil, fmt.Errorf("tcp: world size %d", n)
 	}
-	w := &World{n: n, start: time.Now()}
-	w.conns = make([][]net.Conn, n)
-	w.outq = make([][]*outQueue, n)
+	cfg := Config{Resilient: true, Res: DefaultResilience()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.Res.MaxReconnects < 1 {
+		cfg.Res.MaxReconnects = 1
+	}
+	if cfg.Res.RetransmitLimit < 1 {
+		cfg.Res.RetransmitLimit = DefaultResilience().RetransmitLimit
+	}
+	w := &World{
+		n:          n,
+		start:      time.Now(),
+		cfg:        cfg,
+		dead:       make(map[int]error),
+		reconnWait: make(map[pairID]chan net.Conn),
+		closed:     make(chan struct{}),
+	}
 	w.matchers = make([]*matcher, n)
+	w.streams = make([][]*sendStream, n)
 	for r := 0; r < n; r++ {
-		w.conns[r] = make([]net.Conn, n)
-		w.outq[r] = make([]*outQueue, n)
-		for p := 0; p < n; p++ {
-			w.outq[r][p] = &outQueue{}
-		}
 		w.matchers[r] = &matcher{
 			arrived: make(map[matchKey][][]byte),
 			posted:  make(map[matchKey][]*recvOp),
+			srcErr:  make(map[int]error),
+		}
+		w.streams[r] = make([]*sendStream, n)
+		for p := 0; p < n; p++ {
+			if p == r {
+				continue
+			}
+			st := &sendStream{src: r, dst: p}
+			st.cond = sync.NewCond(&st.mu)
+			w.streams[r][p] = st
 		}
 	}
+	w.links = make([][]*link, n)
+	for lo := 0; lo < n; lo++ {
+		w.links[lo] = make([]*link, n)
+		for hi := lo + 1; hi < n; hi++ {
+			lk := &link{lo: lo, hi: hi}
+			lk.cond = sync.NewCond(&lk.mu)
+			w.links[lo][hi] = lk
+		}
+	}
+
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, nil, err
 	}
 	w.listener = ln
-
-	// Establish one connection per pair: the higher rank dials, sending an
-	// 8-byte (from, to) handshake; the accept loop routes accordingly.
-	type accepted struct {
-		conn net.Conn
-		from int
-		to   int
-		err  error
-	}
+	w.addr = ln.Addr().String()
 	pairs := n * (n - 1) / 2
-	acceptCh := make(chan accepted, pairs)
-	go func() {
-		for i := 0; i < pairs; i++ {
-			conn, err := ln.Accept()
-			if err != nil {
-				acceptCh <- accepted{err: err}
-				return
-			}
-			var hdr [8]byte
-			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-				acceptCh <- accepted{err: err}
-				return
-			}
-			acceptCh <- accepted{
-				conn: conn,
-				from: int(binary.LittleEndian.Uint32(hdr[0:4])),
-				to:   int(binary.LittleEndian.Uint32(hdr[4:8])),
-			}
-		}
-	}()
+	w.setupCh = make(chan accepted, pairs)
+	w.wg.Add(1)
+	go w.acceptLoop()
+
+	// Establish one connection per pair: the higher rank dials with a
+	// (from, to, initial) handshake; the accept path routes accordingly.
 	for hi := 1; hi < n; hi++ {
 		for lo := 0; lo < hi; lo++ {
-			conn, err := net.Dial("tcp", ln.Addr().String())
+			conn, err := net.Dial("tcp", w.addr)
 			if err != nil {
 				w.close()
 				return nil, nil, err
 			}
-			var hdr [8]byte
-			binary.LittleEndian.PutUint32(hdr[0:4], uint32(hi))
-			binary.LittleEndian.PutUint32(hdr[4:8], uint32(lo))
-			if _, err := conn.Write(hdr[:]); err != nil {
+			if err := writeHandshake(conn, hi, lo, hsInitial); err != nil {
+				conn.Close()
 				w.close()
 				return nil, nil, err
 			}
-			w.conns[hi][lo] = conn
+			w.links[lo][hi].connHi = conn
 		}
 	}
 	for i := 0; i < pairs; i++ {
-		a := <-acceptCh
-		if a.err != nil {
+		select {
+		case a := <-w.setupCh:
+			if a.err != nil {
+				w.close()
+				return nil, nil, a.err
+			}
+			if a.from <= a.to || a.from >= n || a.to < 0 {
+				w.close()
+				return nil, nil, fmt.Errorf("tcp: bad handshake %d->%d", a.from, a.to)
+			}
+			w.links[a.to][a.from].connLo = a.conn
+		case <-time.After(10 * time.Second):
 			w.close()
-			return nil, nil, a.err
+			return nil, nil, fmt.Errorf("tcp: world setup timed out")
 		}
-		if a.from < 0 || a.from >= n || a.to < 0 || a.to >= n {
-			w.close()
-			return nil, nil, fmt.Errorf("tcp: bad handshake %d->%d", a.from, a.to)
-		}
-		w.conns[a.to][a.from] = a.conn
 	}
+	w.setupMu.Lock()
+	w.setupDone = true
+	w.setupMu.Unlock()
 
-	// One reader goroutine per (rank, peer) connection end.
+	// One reader per connection end, one writer per directed pair.
+	for lo := 0; lo < n; lo++ {
+		for hi := lo + 1; hi < n; hi++ {
+			lk := w.links[lo][hi]
+			w.wg.Add(2)
+			go w.readLoop(lo, hi, lk.connLo, 0)
+			go w.readLoop(hi, lo, lk.connHi, 0)
+		}
+	}
 	for r := 0; r < n; r++ {
 		for p := 0; p < n; p++ {
-			if r != p {
-				go w.readLoop(r, p)
+			if p != r {
+				w.wg.Add(1)
+				go w.writer(w.streams[r][p])
 			}
 		}
 	}
@@ -176,45 +380,604 @@ func NewWorld(n int) ([]mpi.Comm, func() error, error) {
 	return comms, w.close, nil
 }
 
+func (w *World) linkFor(a, b int) *link {
+	if a > b {
+		a, b = b, a
+	}
+	return w.links[a][b]
+}
+
+func writeHandshake(conn net.Conn, from, to int, flags uint32) error {
+	var hdr [handshakeLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(from))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(to))
+	binary.LittleEndian.PutUint32(hdr[8:12], flags)
+	_, err := conn.Write(hdr[:])
+	return err
+}
+
+// acceptLoop accepts pair connections for the lifetime of the world:
+// during setup it feeds the initial mesh, afterwards it routes reconnect
+// handshakes to the waiting reconnector.
+func (w *World) acceptLoop() {
+	defer w.wg.Done()
+	for {
+		conn, err := w.listener.Accept()
+		if err != nil {
+			// Listener closed: if setup is still in flight, unblock it.
+			w.setupMu.Lock()
+			if !w.setupDone {
+				select {
+				case w.setupCh <- accepted{err: err}:
+				default:
+				}
+			}
+			w.setupMu.Unlock()
+			return
+		}
+		w.wg.Add(1)
+		go w.handleHandshake(conn)
+	}
+}
+
+func (w *World) handleHandshake(conn net.Conn) {
+	defer w.wg.Done()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var hdr [handshakeLen]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	from := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	to := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	flags := binary.LittleEndian.Uint32(hdr[8:12])
+	if from < 0 || from >= w.n || to < 0 || to >= w.n || from == to {
+		conn.Close()
+		return
+	}
+	switch flags {
+	case hsInitial:
+		w.setupMu.Lock()
+		done := w.setupDone
+		w.setupMu.Unlock()
+		if done {
+			conn.Close()
+			return
+		}
+		w.setupCh <- accepted{conn: conn, from: from, to: to}
+	case hsReconnect:
+		lo, hi := to, from
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		w.reconnMu.Lock()
+		ch := w.reconnWait[pairID{lo, hi}]
+		w.reconnMu.Unlock()
+		if ch == nil {
+			conn.Close()
+			return
+		}
+		select {
+		case ch <- conn:
+		default:
+			conn.Close()
+		}
+	default:
+		conn.Close()
+	}
+}
+
 func (w *World) close() error {
 	w.closeOnce.Do(func() {
+		close(w.closed)
 		if w.listener != nil {
 			w.closeErr = w.listener.Close()
 		}
-		for _, row := range w.conns {
-			for _, c := range row {
-				if c != nil {
-					c.Close()
+		errClosed := fmt.Errorf("tcp: world closed")
+		for lo := 0; lo < w.n; lo++ {
+			for hi := lo + 1; hi < w.n; hi++ {
+				lk := w.links[lo][hi]
+				lk.mu.Lock()
+				if lk.state != linkDown {
+					lk.state = linkDown
+					lk.err = errClosed
+					if lk.connLo != nil {
+						lk.connLo.Close()
+					}
+					if lk.connHi != nil {
+						lk.connHi.Close()
+					}
+					lk.cond.Broadcast()
 				}
+				lk.mu.Unlock()
+				w.failPair(lk, errClosed, -1)
 			}
 		}
+		w.wg.Wait()
 	})
 	return w.closeErr
 }
 
-// readLoop receives frames sent by peer p to rank r.
-func (w *World) readLoop(r, p int) {
-	conn := w.conns[r][p]
+func (w *World) isClosed() bool {
+	select {
+	case <-w.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// firstDead returns the lower-numbered dead rank among the two, or -1.
+func (w *World) firstDead(a, b int) int {
+	w.deadMu.Lock()
+	defer w.deadMu.Unlock()
+	if _, ok := w.dead[a]; ok {
+		return a
+	}
+	if _, ok := w.dead[b]; ok {
+		return b
+	}
+	return -1
+}
+
+func (w *World) rankDead(r int) error {
+	w.deadMu.Lock()
+	defer w.deadMu.Unlock()
+	return w.dead[r]
+}
+
+// KillRank simulates the death of rank r: every pair involving r is torn
+// down terminally and every pending or future operation naming r — on any
+// rank — fails with a *mpi.RankError. Killing an already-dead rank is a
+// no-op.
+func (w *World) KillRank(r int) error {
+	if r < 0 || r >= w.n {
+		return fmt.Errorf("tcp: kill of rank %d out of range [0, %d)", r, w.n)
+	}
+	w.deadMu.Lock()
+	if _, ok := w.dead[r]; ok {
+		w.deadMu.Unlock()
+		return nil
+	}
+	cause := fmt.Errorf("tcp: rank %d killed", r)
+	w.dead[r] = cause
+	w.deadMu.Unlock()
+	for p := 0; p < w.n; p++ {
+		if p == r {
+			continue
+		}
+		lk := w.linkFor(r, p)
+		lk.mu.Lock()
+		if lk.state != linkDown {
+			lk.state = linkDown
+			lk.err = &mpi.RankError{Rank: r, Err: cause}
+			if lk.connLo != nil {
+				lk.connLo.Close()
+			}
+			if lk.connHi != nil {
+				lk.connHi.Close()
+			}
+			lk.cond.Broadcast()
+		}
+		lk.mu.Unlock()
+		w.failPair(lk, cause, r)
+	}
+	// Fail the dead rank's own matcher wholesale, including self traffic.
+	w.matchers[r].fail(r, &mpi.RankError{Rank: r, Err: cause})
+	return nil
+}
+
+// failPair terminally fails both directions of a pair. deadRank >= 0 pins
+// the blame on that rank; otherwise each side blames its peer.
+func (w *World) failPair(lk *link, cause error, deadRank int) {
+	blame := func(victim, peer int) error {
+		rank := peer
+		if deadRank >= 0 {
+			rank = deadRank
+		}
+		return &mpi.RankError{Rank: rank, Err: cause}
+	}
+	w.failStream(w.streams[lk.lo][lk.hi], blame(lk.lo, lk.hi))
+	w.failStream(w.streams[lk.hi][lk.lo], blame(lk.hi, lk.lo))
+	w.matchers[lk.lo].fail(lk.hi, blame(lk.lo, lk.hi))
+	w.matchers[lk.hi].fail(lk.lo, blame(lk.hi, lk.lo))
+}
+
+// failStream fails a directed stream: queued and unacknowledged frames
+// complete with err, future sends are rejected, the writer exits.
+func (w *World) failStream(st *sendStream, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.failed != nil {
+		return
+	}
+	st.failed = err
+	for _, fr := range st.queue {
+		if fr.done != nil && !fr.completed {
+			fr.completed = true
+			fr.done <- err
+		}
+	}
+	for _, fr := range st.unacked {
+		if fr.done != nil && !fr.completed {
+			fr.completed = true
+			fr.done <- err
+		}
+	}
+	st.queue = nil
+	st.unacked = nil
+	st.resend = 0
+	st.cond.Broadcast()
+}
+
+// linkBroken handles a connection error on the given epoch: transient
+// breaks start the reconnector, everything else fails the pair.
+func (w *World) linkBroken(lk *link, epoch int, cause error) {
+	lk.mu.Lock()
+	if lk.state != linkUp || lk.epoch != epoch {
+		lk.mu.Unlock()
+		return
+	}
+	if lk.connLo != nil {
+		lk.connLo.Close()
+	}
+	if lk.connHi != nil {
+		lk.connHi.Close()
+	}
+	deadRank := w.firstDead(lk.lo, lk.hi)
+	if !w.cfg.Resilient || w.isClosed() || deadRank >= 0 {
+		lk.state = linkDown
+		lk.err = cause
+		lk.cond.Broadcast()
+		lk.mu.Unlock()
+		w.failPair(lk, cause, deadRank)
+		return
+	}
+	lk.state = linkReconnecting
+	lk.mu.Unlock()
+	w.wg.Add(1)
+	go w.reconnect(lk, cause)
+}
+
+// reconnect redials a broken pair with exponential backoff + jitter,
+// retransmitting unacknowledged frames once the new socket is up.
+func (w *World) reconnect(lk *link, cause error) {
+	defer w.wg.Done()
+	res := w.cfg.Res
+	lastErr := cause
+	for attempt := 0; attempt < res.MaxReconnects; attempt++ {
+		d := res.BackoffBase << uint(attempt)
+		if d > res.BackoffMax || d <= 0 {
+			d = res.BackoffMax
+		}
+		if res.Jitter > 0 {
+			f := 1 + res.Jitter*(2*rand.Float64()-1)
+			d = time.Duration(float64(d) * f)
+		}
+		select {
+		case <-time.After(d):
+		case <-w.closed:
+			w.reconnectFailed(lk, fmt.Errorf("tcp: world closed during reconnect"))
+			return
+		}
+		if dead := w.firstDead(lk.lo, lk.hi); dead >= 0 {
+			w.reconnectFailed(lk, w.rankDead(dead))
+			return
+		}
+		connHi, connLo, err := w.redial(lk)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		lk.mu.Lock()
+		if lk.state != linkReconnecting {
+			// Killed or closed while redialing.
+			lk.mu.Unlock()
+			connHi.Close()
+			connLo.Close()
+			return
+		}
+		lk.connHi = connHi
+		lk.connLo = connLo
+		lk.epoch++
+		lk.state = linkUp
+		epoch := lk.epoch
+		lk.cond.Broadcast()
+		lk.mu.Unlock()
+		// Retransmit everything unacknowledged in both directions; the
+		// receivers' sequence cursors discard what already arrived.
+		w.streams[lk.lo][lk.hi].rewind()
+		w.streams[lk.hi][lk.lo].rewind()
+		w.wg.Add(2)
+		go w.readLoop(lk.lo, lk.hi, connLo, epoch)
+		go w.readLoop(lk.hi, lk.lo, connHi, epoch)
+		return
+	}
+	w.reconnectFailed(lk, fmt.Errorf("tcp: pair (%d,%d) reconnect failed after %d attempts: %w",
+		lk.lo, lk.hi, res.MaxReconnects, lastErr))
+}
+
+func (w *World) reconnectFailed(lk *link, err error) {
+	lk.mu.Lock()
+	if lk.state == linkReconnecting {
+		lk.state = linkDown
+		lk.err = err
+	}
+	lk.cond.Broadcast()
+	lk.mu.Unlock()
+	w.failPair(lk, err, w.firstDead(lk.lo, lk.hi))
+}
+
+// redial establishes a fresh socket for the pair: the higher rank dials the
+// world listener with a reconnect handshake, the accept path hands the
+// peer end back. Returns (higher end, lower end).
+func (w *World) redial(lk *link) (net.Conn, net.Conn, error) {
+	ch := make(chan net.Conn, 1)
+	id := pairID{lk.lo, lk.hi}
+	w.reconnMu.Lock()
+	w.reconnWait[id] = ch
+	w.reconnMu.Unlock()
+	defer func() {
+		w.reconnMu.Lock()
+		delete(w.reconnWait, id)
+		w.reconnMu.Unlock()
+	}()
+	connHi, err := net.Dial("tcp", w.addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := writeHandshake(connHi, lk.hi, lk.lo, hsReconnect); err != nil {
+		connHi.Close()
+		return nil, nil, err
+	}
+	select {
+	case connLo := <-ch:
+		return connHi, connLo, nil
+	case <-time.After(2 * time.Second):
+		connHi.Close()
+		return nil, nil, fmt.Errorf("tcp: reconnect handshake timed out")
+	case <-w.closed:
+		connHi.Close()
+		return nil, nil, fmt.Errorf("tcp: world closed")
+	}
+}
+
+// rewind schedules every unacknowledged frame for retransmission.
+func (st *sendStream) rewind() {
+	st.mu.Lock()
+	st.resend = 0
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// ack prunes unacknowledged frames below the cumulative ack.
+func (st *sendStream) ack(upTo uint64) {
+	st.mu.Lock()
+	k := 0
+	for k < len(st.unacked) && st.unacked[k].seq < upTo {
+		k++
+	}
+	if k > 0 {
+		st.unacked = st.unacked[k:]
+		st.resend -= k
+		if st.resend < 0 {
+			st.resend = 0
+		}
+	}
+	st.mu.Unlock()
+}
+
+// enqueueAck queues a cumulative ack toward dst on this stream's writer.
+func (st *sendStream) enqueueAck(upTo uint64) {
+	st.mu.Lock()
+	if st.failed == nil && !st.closed {
+		st.queue = append(st.queue, &outFrame{kind: frameAck, seq: upTo})
+		st.cond.Signal()
+	}
+	st.mu.Unlock()
+}
+
+// writer drains one directed stream for the lifetime of the world:
+// retransmissions first, then queued frames in order. MPI's non-overtaking
+// guarantee holds because this is the only goroutine writing the pair's
+// frames for its direction.
+func (w *World) writer(st *sendStream) {
+	defer w.wg.Done()
+	lk := w.linkFor(st.src, st.dst)
+	for {
+		st.mu.Lock()
+		for st.failed == nil && !st.closed && st.resend >= len(st.unacked) && len(st.queue) == 0 {
+			st.cond.Wait()
+		}
+		if st.failed != nil || st.closed {
+			st.mu.Unlock()
+			return
+		}
+		var fr *outFrame
+		retransmit := false
+		if st.resend < len(st.unacked) {
+			fr = st.unacked[st.resend]
+			st.resend++
+			retransmit = true
+		} else {
+			fr = st.queue[0]
+			st.queue = st.queue[1:]
+			if fr.kind == frameData {
+				fr.seq = st.nextSeq
+				st.nextSeq++
+				if w.cfg.Resilient {
+					if len(st.unacked) >= w.cfg.Res.RetransmitLimit {
+						st.mu.Unlock()
+						w.failStream(st, &mpi.RankError{Rank: st.dst, Err: fmt.Errorf(
+							"tcp: retransmit buffer overflow (%d frames) toward rank %d",
+							w.cfg.Res.RetransmitLimit, st.dst)})
+						return
+					}
+					st.unacked = append(st.unacked, fr)
+					st.resend = len(st.unacked)
+				}
+			}
+		}
+		st.mu.Unlock()
+
+		conn, epoch, err := lk.acquire(st.src)
+		if err != nil {
+			// Pair is terminally down; failPair has drained or will drain
+			// the stream. Complete this in-flight frame if it escaped.
+			w.completeFrame(st, fr, err)
+			return
+		}
+
+		dup := false
+		if fr.kind == frameData && !retransmit && !fr.consulted && w.cfg.Faults != nil {
+			fr.consulted = true
+			op, d := w.cfg.Faults.FrameFault(st.src, st.dst)
+			switch op {
+			case mpi.FaultDelay:
+				select {
+				case <-time.After(d):
+				case <-w.closed:
+				}
+			case mpi.FaultDropConn:
+				w.linkBroken(lk, epoch, fmt.Errorf("tcp: injected connection drop %d->%d", st.src, st.dst))
+				if !w.cfg.Resilient {
+					w.completeFrame(st, fr, &mpi.RankError{Rank: st.dst,
+						Err: fmt.Errorf("tcp: injected connection drop %d->%d", st.src, st.dst)})
+					return
+				}
+				continue // frame sits in unacked; retransmitted after reconnect
+			case mpi.FaultDuplicate:
+				dup = true
+			}
+		}
+
+		werr := writeFrame(conn, fr)
+		if werr == nil && dup {
+			werr = writeFrame(conn, fr)
+		}
+		if werr != nil {
+			w.linkBroken(lk, epoch, werr)
+			if !w.cfg.Resilient {
+				w.completeFrame(st, fr, werr)
+				return
+			}
+			continue // retransmitted after reconnect (or failed terminally)
+		}
+		if fr.kind == frameData {
+			w.completeFrame(st, fr, nil)
+		}
+	}
+}
+
+// completeFrame delivers the frame's completion exactly once.
+func (w *World) completeFrame(st *sendStream, fr *outFrame, err error) {
+	if fr == nil || fr.done == nil {
+		return
+	}
+	st.mu.Lock()
+	if !fr.completed {
+		fr.completed = true
+		fr.done <- err
+	}
+	st.mu.Unlock()
+}
+
+func writeFrame(conn net.Conn, fr *outFrame) error {
+	var hdr [headerLen]byte
+	hdr[0] = fr.kind
+	binary.LittleEndian.PutUint64(hdr[1:9], uint64(int64(fr.tag)))
+	binary.LittleEndian.PutUint64(hdr[9:17], fr.seq)
+	binary.LittleEndian.PutUint64(hdr[17:25], uint64(int64(len(fr.buf))))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(fr.buf) == 0 {
+		return nil
+	}
+	_, err := conn.Write(fr.buf)
+	return err
+}
+
+// readLoop receives frames sent by peer p to rank r on one connection
+// epoch. Data frames pass the sequence cursor (duplicates are discarded and
+// re-acked), ack frames prune the reverse retransmit window.
+func (w *World) readLoop(r, p int, conn net.Conn, epoch int) {
+	defer w.wg.Done()
+	lk := w.linkFor(r, p)
+	st := w.streams[r][p]
 	m := w.matchers[r]
 	for {
 		var hdr [headerLen]byte
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			m.fail(p, fmt.Errorf("tcp: rank %d reading from %d: %w", r, p, err))
+			w.linkBroken(lk, epoch, fmt.Errorf("tcp: rank %d reading from %d: %w", r, p, err))
 			return
 		}
-		tag := int(int64(binary.LittleEndian.Uint64(hdr[0:8])))
-		size := int(int64(binary.LittleEndian.Uint64(hdr[8:16])))
-		if size < 0 || size > 1<<30 {
-			m.fail(p, fmt.Errorf("tcp: rank %d: bad frame size %d from %d", r, size, p))
+		kind := hdr[0]
+		tag := int(int64(binary.LittleEndian.Uint64(hdr[1:9])))
+		seq := binary.LittleEndian.Uint64(hdr[9:17])
+		size := int(int64(binary.LittleEndian.Uint64(hdr[17:25])))
+		if size < 0 || size > maxFramePayload {
+			w.linkBroken(lk, epoch, fmt.Errorf("tcp: rank %d: bad frame size %d from %d", r, size, p))
 			return
 		}
-		payload := make([]byte, size)
-		if _, err := io.ReadFull(conn, payload); err != nil {
-			m.fail(p, fmt.Errorf("tcp: rank %d reading payload from %d: %w", r, p, err))
+		switch kind {
+		case frameAck:
+			st.ack(seq)
+		case frameData:
+			payload := make([]byte, size)
+			if _, err := io.ReadFull(conn, payload); err != nil {
+				w.linkBroken(lk, epoch, fmt.Errorf("tcp: rank %d reading payload from %d: %w", r, p, err))
+				return
+			}
+			if w.cfg.Resilient {
+				st.mu.Lock()
+				switch {
+				case seq < st.recvNext:
+					// Idempotent re-delivery: already matched, discard but
+					// re-ack so the sender prunes its window.
+					next := st.recvNext
+					st.mu.Unlock()
+					st.enqueueAck(next)
+					continue
+				case seq > st.recvNext:
+					st.mu.Unlock()
+					w.hardFail(lk, epoch, fmt.Errorf(
+						"tcp: rank %d: sequence gap from %d: got %d want %d", r, p, seq, st.recvNext))
+					return
+				}
+				st.recvNext++
+				next := st.recvNext
+				st.mu.Unlock()
+				m.deliver(matchKey{src: p, tag: tag}, payload)
+				st.enqueueAck(next)
+			} else {
+				m.deliver(matchKey{src: p, tag: tag}, payload)
+			}
+		default:
+			w.hardFail(lk, epoch, fmt.Errorf("tcp: rank %d: unknown frame kind %d from %d", r, p, kind))
 			return
 		}
-		m.deliver(matchKey{src: p, tag: tag}, payload)
 	}
+}
+
+// hardFail terminally fails a pair on a protocol violation — reconnecting
+// cannot fix a corrupted stream.
+func (w *World) hardFail(lk *link, epoch int, cause error) {
+	lk.mu.Lock()
+	if lk.state == linkUp && lk.epoch == epoch {
+		lk.state = linkDown
+		lk.err = cause
+		if lk.connLo != nil {
+			lk.connLo.Close()
+		}
+		if lk.connHi != nil {
+			lk.connHi.Close()
+		}
+		lk.cond.Broadcast()
+	}
+	lk.mu.Unlock()
+	w.failPair(lk, cause, -1)
 }
 
 // fail records a transport failure for one source: every pending and
@@ -294,20 +1057,50 @@ func (c *comm) Rank() int    { return c.rank }
 func (c *comm) Size() int    { return c.w.n }
 func (c *comm) Now() float64 { return time.Since(c.w.start).Seconds() }
 
+// Kill simulates the death of this rank (mpi.Killer).
+func (c *comm) Kill() error { return c.w.KillRank(c.rank) }
+
+// OpDeadline returns the world's per-operation deadline (0 = none).
+func (c *comm) OpDeadline() time.Duration { return c.w.cfg.OpDeadline }
+
 type chanRequest struct{ done chan error }
 
 func (r chanRequest) Wait() error { return <-r.done }
 
+// WaitTimeout bounds the wait (mpi.TimedRequest). The operation is
+// abandoned on timeout: its buffer must not be reused.
+func (r chanRequest) WaitTimeout(d time.Duration) error {
+	if d <= 0 {
+		return <-r.done
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case err := <-r.done:
+		return err
+	case <-t.C:
+		return &mpi.TimeoutError{Op: "wait", After: d}
+	}
+}
+
 type errRequest struct{ err error }
 
-func (r errRequest) Wait() error { return r.err }
+func (r errRequest) Wait() error                     { return r.err }
+func (r errRequest) WaitTimeout(time.Duration) error { return r.err }
 
-// isend frames and writes buf to dst without blocking the caller. Frames
-// for one destination are written by a single drainer in enqueue order, so
-// MPI's non-overtaking guarantee holds per (source, destination, tag).
+// isend frames and queues buf toward dst without blocking the caller.
+// Frames for one destination are written by a single writer in enqueue
+// order, so MPI's non-overtaking guarantee holds per (source, destination,
+// tag).
 func (c *comm) isend(buf []byte, dst, tag int) mpi.Request {
 	if err := mpi.CheckRank(c, dst); err != nil {
 		return errRequest{err}
+	}
+	if err := c.w.rankDead(c.rank); err != nil {
+		return errRequest{&mpi.RankError{Rank: c.rank, Err: err}}
+	}
+	if err := c.w.rankDead(dst); err != nil {
+		return errRequest{&mpi.RankError{Rank: dst, Err: err}}
 	}
 	if dst == c.rank {
 		// Self-send: loop through the matcher directly.
@@ -315,43 +1108,24 @@ func (c *comm) isend(buf []byte, dst, tag int) mpi.Request {
 		c.w.matchers[c.rank].deliver(matchKey{src: c.rank, tag: tag}, payload)
 		return errRequest{nil}
 	}
-	fr := &outFrame{tag: tag, buf: buf, done: make(chan error, 1)}
-	q := c.w.outq[c.rank][dst]
-	q.mu.Lock()
-	q.frames = append(q.frames, fr)
-	if !q.draining {
-		q.draining = true
-		go c.w.drain(c.rank, dst)
+	st := c.w.streams[c.rank][dst]
+	st.mu.Lock()
+	if st.failed != nil {
+		err := st.failed
+		st.mu.Unlock()
+		return errRequest{err}
 	}
-	q.mu.Unlock()
+	data := buf
+	if c.w.cfg.Resilient && len(buf) > 0 {
+		// Copy: the frame may be retransmitted after the caller's request
+		// completed and the caller reused its buffer.
+		data = append([]byte(nil), buf...)
+	}
+	fr := &outFrame{kind: frameData, tag: tag, buf: data, done: make(chan error, 1)}
+	st.queue = append(st.queue, fr)
+	st.cond.Signal()
+	st.mu.Unlock()
 	return chanRequest{done: fr.done}
-}
-
-// drain writes queued frames for (r -> p) in order until the queue empties.
-func (w *World) drain(r, p int) {
-	q := w.outq[r][p]
-	conn := w.conns[r][p]
-	for {
-		q.mu.Lock()
-		if len(q.frames) == 0 {
-			q.draining = false
-			q.mu.Unlock()
-			return
-		}
-		fr := q.frames[0]
-		q.frames = q.frames[1:]
-		q.mu.Unlock()
-
-		var hdr [headerLen]byte
-		binary.LittleEndian.PutUint64(hdr[0:8], uint64(int64(fr.tag)))
-		binary.LittleEndian.PutUint64(hdr[8:16], uint64(int64(len(fr.buf))))
-		if _, err := conn.Write(hdr[:]); err != nil {
-			fr.done <- err
-			continue
-		}
-		_, err := conn.Write(fr.buf)
-		fr.done <- err
-	}
 }
 
 func (c *comm) Isend(buf []byte, dst, tag int) mpi.Request {
@@ -364,6 +1138,9 @@ func (c *comm) Isend(buf []byte, dst, tag int) mpi.Request {
 func (c *comm) irecv(buf []byte, src, tag int) mpi.Request {
 	if err := mpi.CheckRank(c, src); err != nil {
 		return errRequest{err}
+	}
+	if err := c.w.rankDead(c.rank); err != nil {
+		return errRequest{&mpi.RankError{Rank: c.rank, Err: err}}
 	}
 	op := &recvOp{buf: buf, done: make(chan error, 1)}
 	c.w.matchers[c.rank].post(matchKey{src: src, tag: tag}, op)
@@ -379,12 +1156,15 @@ func (c *comm) Irecv(buf []byte, src, tag int) mpi.Request {
 
 // Barrier runs a dissemination barrier over the transport itself:
 // ceil(log2 n) rounds, each rank signalling rank+2^k and waiting for
-// rank-2^k, with reserved negative tags per generation and round.
+// rank-2^k, with reserved negative tags per generation and round. When the
+// world has an OpDeadline, every wait is bounded by it and a stuck barrier
+// returns a typed *mpi.TimeoutError instead of hanging.
 func (c *comm) Barrier() error {
 	n := c.w.n
 	if n == 1 {
 		return nil
 	}
+	d := c.w.cfg.OpDeadline
 	gen := c.barrierGen
 	c.barrierGen++
 	round := 0
@@ -394,11 +1174,11 @@ func (c *comm) Barrier() error {
 		src := (c.rank - dist + n) % n
 		sr := c.isend(nil, dst, tag)
 		rr := c.irecv(nil, src, tag)
-		if err := sr.Wait(); err != nil {
-			return err
+		if err := mpi.WaitTimeout(sr, d); err != nil {
+			return fmt.Errorf("tcp: barrier round %d: %w", round, err)
 		}
-		if err := rr.Wait(); err != nil {
-			return err
+		if err := mpi.WaitTimeout(rr, d); err != nil {
+			return fmt.Errorf("tcp: barrier round %d: %w", round, err)
 		}
 		round++
 	}
@@ -407,8 +1187,8 @@ func (c *comm) Barrier() error {
 
 // Run builds a TCP world, executes fn once per rank, tears the sockets
 // down, and returns the first error.
-func Run(n int, fn func(c mpi.Comm) error) error {
-	comms, closeWorld, err := NewWorld(n)
+func Run(n int, fn func(c mpi.Comm) error, opts ...Option) error {
+	comms, closeWorld, err := NewWorld(n, opts...)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -37,6 +38,47 @@ func FuzzParse(f *testing.F) {
 			if _, err := g.FindRoot(); err != nil {
 				t.Fatalf("FindRoot failed on accepted cluster: %v\n%s", err, text)
 			}
+		}
+	})
+}
+
+// FuzzParseTopology exercises the whole DSL surface on one input: the tree
+// parser and the wiring parser (which permits cycles) must never panic, and
+// every wiring they accept must either produce a valid spanning tree or a
+// clean error.
+func FuzzParseTopology(f *testing.F) {
+	f.Add("switches s0 s1\nmachines a b\nlink s0 s1\nlink s0 a\nlink s1 b\n")
+	f.Add("switches s0 s1 s2\nmachines a b\nlink s0 s1\nlink s1 s2\nlink s2 s0\nlink s0 a\nlink s1 b\n")
+	f.Add("switch s\nlink s s\n")
+	f.Add("machines m\n")
+	f.Add("switches x y\nmachine m\nlink x y\nlink x y\nlink y m\n")
+	f.Add("")
+	f.Add("link")
+	f.Add("switch \xff\nmachine \x00\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		// The strict tree parser: accepted input must round-trip (same
+		// invariants FuzzParse checks, repeated here so one corpus covers
+		// both parsers).
+		if g, err := ParseString(src); err == nil {
+			if err := g.Validate(); err != nil {
+				t.Fatalf("Parse accepted invalid cluster: %v\ninput: %q", err, src)
+			}
+		}
+		// The wiring parser: cycles are legal, so the only hard promises are
+		// no panic and a valid tree out of SpanningTree when it succeeds.
+		w, err := ParseWiring(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		g, err := w.SpanningTree()
+		if err != nil {
+			return // wirings with no machines etc. may be rejected here
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("SpanningTree produced invalid cluster: %v\ninput: %q", err, src)
+		}
+		if _, err := ParseString(g.Format()); err != nil {
+			t.Fatalf("spanning tree does not reparse: %v\n%s", err, g.Format())
 		}
 	})
 }
