@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race bench fuzz
+.PHONY: check vet build build-obsv-off test race bench microbench fuzz
 
-# check is the one-command gate: static analysis, full build, and the test
-# suite under the race detector.
-check: vet build race
+# check is the one-command gate: static analysis, full build (with and
+# without the observability layer), and the test suite under the race
+# detector.
+check: vet build build-obsv-off race
 
 vet:
 	$(GO) vet ./...
@@ -12,13 +13,27 @@ vet:
 build:
 	$(GO) build ./...
 
+# The obsv_off tag compiles the observability layer down to no-ops; the tree
+# must build in that configuration too.
+build-obsv-off:
+	$(GO) build -tags obsv_off ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
+# bench regenerates the machine-readable evaluation reports: the Fig. 1
+# example cluster and the 32-node star topology (b), written as
+# BENCH_fig1.json and BENCH_b.json.
 bench:
+	$(GO) run ./cmd/aapcbench -topo fig1 -json .
+	$(GO) run ./cmd/aapcbench -topo b -json .
+
+# microbench runs the go-test benchmarks (paper tables/figures, transport
+# and instrumentation costs).
+microbench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 # Short fuzz passes over every DSL parser (longer runs: go test -fuzz=... ).

@@ -3,28 +3,57 @@
 // completion time and aggregate throughput of LAM, MPICH and the
 // automatically generated routine across message sizes, printing the tables
 // and series behind Figs. 6, 7 and 8. It can additionally run the
-// synchronization-mode and scheduler ablations.
+// synchronization-mode and scheduler ablations, emit machine-readable
+// BENCH_<name>.json reports (-json), and render a previously recorded obsv
+// JSONL event trace with the same Gantt pipeline used for simulator runs
+// (-render).
 //
 // Usage:
 //
 //	aapcbench [-topo a|b|c|fig1|all] [-file cluster.topo] [-msizes 8K,64K]
 //	          [-bw Mbps] [-alpha seconds] [-mineff f] [-jitter f]
-//	          [-ablation] [-plot] [-trace]
+//	          [-ablation] [-plot] [-trace] [-json dir] [-render trace.jsonl]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/aapc-sched/aapcsched/internal/alltoall"
 	"github.com/aapc-sched/aapcsched/internal/harness"
+	"github.com/aapc-sched/aapcsched/internal/mpi"
+	"github.com/aapc-sched/aapcsched/internal/mpi/mem"
+	"github.com/aapc-sched/aapcsched/internal/obsv"
 	"github.com/aapc-sched/aapcsched/internal/simnet"
 	"github.com/aapc-sched/aapcsched/internal/topology"
 	"github.com/aapc-sched/aapcsched/internal/trace"
 )
+
+// options collects every flag of the driver.
+type options struct {
+	topo     string
+	file     string
+	msizes   string
+	bwMbps   float64
+	alpha    float64
+	minEff   float64
+	ablation bool
+	plot     bool
+	gantt    bool
+	jitter   float64
+	control  float64
+	csvPath  string
+	iters    int
+	jsonDir  string
+	render   string
+}
 
 // printTrace renders the sender timeline of the generated routine.
 func printTrace(g *topology.Graph, net simnet.Config, msize int) error {
@@ -38,7 +67,7 @@ func printTrace(g *topology.Graph, net simnet.Config, msize int) error {
 	if err != nil {
 		return err
 	}
-	tl := trace.New(records)
+	tl := trace.NewWithRanks(records, g.NumMachines())
 	st := tl.Stats()
 	fmt.Printf("\ngenerated routine at %s: %d data flows, %d sync messages, peak concurrency %d\n",
 		harness.FormatMsize(msize), st.DataFlows, st.ControlFlows, st.MaxConcurrentData)
@@ -47,50 +76,80 @@ func printTrace(g *topology.Graph, net simnet.Config, msize int) error {
 	return nil
 }
 
+// renderTrace loads an obsv JSONL event trace and renders it with the same
+// timeline pipeline used for simulator flow records.
+func renderTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	meta, events, err := obsv.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	tl := trace.FromEvents(meta, events)
+	st := tl.Stats()
+	label := meta.Name
+	if label == "" {
+		label = path
+	}
+	fmt.Printf("trace %s (%s, %d ranks): %d data flows, %d control flows, peak concurrency %d\n",
+		label, meta.Transport, meta.Ranks, st.DataFlows, st.ControlFlows, st.MaxConcurrentData)
+	fmt.Print(tl.Gantt(96))
+	fmt.Print(obsv.FormatPhaseStats(obsv.PhaseStats(events)))
+	return nil
+}
+
 func main() {
-	var (
-		topo     = flag.String("topo", "all", "topology preset: a, b, c, fig1 or all")
-		file     = flag.String("file", "", "topology DSL file (overrides -topo)")
-		msizes   = flag.String("msizes", "", "comma-separated message sizes (e.g. 8K,64K,256K); default the paper's 8K..256K")
-		bwMbps   = flag.Float64("bw", 100, "link bandwidth in Mbps")
-		alpha    = flag.Float64("alpha", simnet.DefaultStartupLatency, "per-message startup latency in seconds")
-		minEff   = flag.Float64("mineff", simnet.DefaultMinEfficiency, "asymptotic link efficiency under contention (1 = ideal fluid)")
-		ablation = flag.Bool("ablation", false, "also run synchronization and scheduler ablations")
-		plot     = flag.Bool("plot", false, "render ASCII throughput plots")
-		gantt    = flag.Bool("trace", false, "render a sender Gantt chart of the generated routine at the smallest message size")
-		jitter   = flag.Float64("jitter", 0, "per-message startup jitter fraction (models OS noise; 0 = deterministic lockstep)")
-		control  = flag.Float64("control", 0, "startup latency for control-sized messages (seconds; 0 = same as -alpha)")
-		csvPath  = flag.String("csv", "", "append results as CSV to this file ('-' for stdout)")
-		iters    = flag.Int("iters", 1, "back-to-back invocations per cell, reporting the mean (the paper uses 10)")
-	)
+	var o options
+	flag.StringVar(&o.topo, "topo", "all", "topology preset: a, b, c, fig1 or all")
+	flag.StringVar(&o.file, "file", "", "topology DSL file (overrides -topo)")
+	flag.StringVar(&o.msizes, "msizes", "", "comma-separated message sizes (e.g. 8K,64K,256K); default the paper's 8K..256K")
+	flag.Float64Var(&o.bwMbps, "bw", 100, "link bandwidth in Mbps")
+	flag.Float64Var(&o.alpha, "alpha", simnet.DefaultStartupLatency, "per-message startup latency in seconds")
+	flag.Float64Var(&o.minEff, "mineff", simnet.DefaultMinEfficiency, "asymptotic link efficiency under contention (1 = ideal fluid)")
+	flag.BoolVar(&o.ablation, "ablation", false, "also run synchronization and scheduler ablations")
+	flag.BoolVar(&o.plot, "plot", false, "render ASCII throughput plots")
+	flag.BoolVar(&o.gantt, "trace", false, "render a sender Gantt chart of the generated routine at the smallest message size")
+	flag.Float64Var(&o.jitter, "jitter", 0, "per-message startup jitter fraction (models OS noise; 0 = deterministic lockstep)")
+	flag.Float64Var(&o.control, "control", 0, "startup latency for control-sized messages (seconds; 0 = same as -alpha)")
+	flag.StringVar(&o.csvPath, "csv", "", "append results as CSV to this file ('-' for stdout)")
+	flag.IntVar(&o.iters, "iters", 1, "back-to-back invocations per cell, reporting the mean (the paper uses 10)")
+	flag.StringVar(&o.jsonDir, "json", "", "write a machine-readable BENCH_<name>.json report per topology into this directory")
+	flag.StringVar(&o.render, "render", "", "render an obsv JSONL event trace file and exit")
 	flag.Parse()
-	if err := run(*topo, *file, *msizes, *bwMbps, *alpha, *minEff, *ablation, *plot, *gantt, *jitter, *control, *csvPath, *iters); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "aapcbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topo, file, msizes string, bwMbps, alpha, minEff float64, ablation, plot, gantt bool, jitter, control float64, csvPath string, iters int) error {
-	sizes, err := parseMsizes(msizes)
+func run(o options) error {
+	if o.render != "" {
+		return renderTrace(o.render)
+	}
+	sizes, err := parseMsizes(o.msizes)
 	if err != nil {
 		return err
 	}
 	net := simnet.Config{
-		LinkBandwidth:  bwMbps * 1e6 / 8,
-		StartupLatency: alpha,
-		MinEfficiency:  minEff,
-		JitterFrac:     jitter,
+		LinkBandwidth:  o.bwMbps * 1e6 / 8,
+		StartupLatency: o.alpha,
+		MinEfficiency:  o.minEff,
+		JitterFrac:     o.jitter,
 		JitterSeed:     1,
-		ControlLatency: control,
+		ControlLatency: o.control,
 	}
 	type target struct {
-		name  string
+		name  string // report label
+		short string // file-name stem for -json
 		graph *topology.Graph
 	}
 	var targets []target
 	switch {
-	case file != "":
-		f, err := os.Open(file)
+	case o.file != "":
+		f, err := os.Open(o.file)
 		if err != nil {
 			return err
 		}
@@ -99,26 +158,27 @@ func run(topo, file, msizes string, bwMbps, alpha, minEff float64, ablation, plo
 		if err != nil {
 			return err
 		}
-		targets = append(targets, target{name: file, graph: g})
-	case topo == "all":
+		short := strings.TrimSuffix(filepath.Base(o.file), filepath.Ext(o.file))
+		targets = append(targets, target{name: o.file, short: short, graph: g})
+	case o.topo == "all":
 		for _, name := range []string{"a", "b", "c"} {
 			g, err := harness.Preset(name)
 			if err != nil {
 				return err
 			}
-			targets = append(targets, target{name: "topology (" + name + ")", graph: g})
+			targets = append(targets, target{name: "topology (" + name + ")", short: name, graph: g})
 		}
 	default:
-		g, err := harness.Preset(topo)
+		g, err := harness.Preset(o.topo)
 		if err != nil {
 			return err
 		}
-		targets = append(targets, target{name: "topology (" + topo + ")", graph: g})
+		targets = append(targets, target{name: "topology (" + o.topo + ")", short: o.topo, graph: g})
 	}
 
 	for _, tg := range targets {
 		algs := []harness.Algorithm{harness.LAM(), harness.MPICHAlg(), harness.Ours(alltoall.PairwiseSync)}
-		if ablation {
+		if o.ablation {
 			algs = append(algs,
 				harness.Ours(alltoall.BarrierSync),
 				harness.Ours(alltoall.NoSync),
@@ -131,29 +191,176 @@ func run(topo, file, msizes string, bwMbps, alpha, minEff float64, ablation, plo
 			Msizes:     sizes,
 			Algorithms: algs,
 			Net:        net,
-			Iterations: iters,
+			Iterations: o.iters,
 		}
 		rep, err := exp.Run()
 		if err != nil {
 			return err
 		}
 		fmt.Print(rep.Summary())
-		if csvPath != "" {
-			if err := appendCSV(csvPath, rep.CSV()); err != nil {
+		if o.csvPath != "" {
+			if err := appendCSV(o.csvPath, rep.CSV()); err != nil {
 				return err
 			}
 		}
-		if plot {
+		if o.plot {
 			fmt.Print(rep.ThroughputPlot(14))
 		}
-		if gantt {
+		if o.gantt {
 			if err := printTrace(tg.graph, net, rep.Msizes[0]); err != nil {
 				return err
 			}
 		}
+		if o.jsonDir != "" {
+			path, err := writeJSONReport(o.jsonDir, tg.short, tg.graph, net, rep)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
 		fmt.Println()
 	}
 	return nil
+}
+
+// benchCell is one (algorithm, msize) measurement of the JSON report.
+type benchCell struct {
+	Algorithm      string  `json:"algorithm"`
+	Msize          int     `json:"msize"`
+	Seconds        float64 `json:"seconds"`
+	ThroughputMbps float64 `json:"throughput_mbps"`
+}
+
+// benchPhases is the per-msize phase breakdown of the generated routine,
+// recorded through the obsv instrumentation layer.
+type benchPhases struct {
+	Msize           int              `json:"msize"`
+	Seconds         float64          `json:"seconds"`
+	Events          int              `json:"events"`
+	SyncWaitSeconds float64          `json:"sync_wait_seconds"`
+	Phases          []obsv.PhaseStat `json:"phases"`
+}
+
+// benchOverhead quantifies the instrumentation cost: the compiled routine on
+// the in-process mem transport, wall-clocked bare versus instrumented
+// (best-of-N; see measureOverhead).
+type benchOverhead struct {
+	Msize               int     `json:"msize"`
+	BareWallSeconds     float64 `json:"bare_wall_seconds"`
+	ObservedWallSeconds float64 `json:"observed_wall_seconds"`
+	OverheadFrac        float64 `json:"overhead_frac"`
+	EventsPerRank       float64 `json:"events_per_rank"`
+}
+
+// benchJSON is the schema of BENCH_<name>.json.
+type benchJSON struct {
+	Name       string        `json:"name"`
+	Machines   int           `json:"machines"`
+	Load       int           `json:"load"`
+	PeakMbps   float64       `json:"peak_mbps"`
+	Msizes     []int         `json:"msizes"`
+	Algorithms []string      `json:"algorithms"`
+	Cells      []benchCell   `json:"cells"`
+	Phases     []benchPhases `json:"phases,omitempty"`
+	Overhead   benchOverhead `json:"overhead"`
+}
+
+// writeJSONReport measures the generated routine once more per message size
+// through the obsv instrumentation layer (phase drift, sync stalls) and
+// writes the full machine-readable report as BENCH_<short>.json in dir.
+func writeJSONReport(dir, short string, g *topology.Graph, net simnet.Config, rep *harness.Report) (string, error) {
+	out := benchJSON{
+		Name:       short,
+		Machines:   rep.Machines,
+		Load:       rep.Load,
+		PeakMbps:   rep.PeakMbps,
+		Msizes:     rep.Msizes,
+		Algorithms: rep.Algorithms,
+	}
+	for _, r := range rep.Rows {
+		out.Cells = append(out.Cells, benchCell{
+			Algorithm:      r.Algorithm,
+			Msize:          r.Msize,
+			Seconds:        r.Seconds,
+			ThroughputMbps: r.ThroughputMbps,
+		})
+	}
+	sc, err := harness.CompileRoutine(g, alltoall.PairwiseSync)
+	if err != nil {
+		return "", err
+	}
+	cfg := net
+	cfg.Graph = g
+	for i, msize := range rep.Msizes {
+		elapsed, recs, err := harness.MeasureObserved(cfg, sc.Fn(), msize)
+		if err != nil {
+			return "", err
+		}
+		events := obsv.MergedEvents(recs...)
+		ph := benchPhases{Msize: msize, Seconds: elapsed, Events: len(events)}
+		for _, st := range obsv.PhaseStats(events) {
+			ph.SyncWaitSeconds += st.SyncWaitSeconds
+			ph.Phases = append(ph.Phases, st)
+		}
+		out.Phases = append(out.Phases, ph)
+		// Overhead is measured at the largest message size, where data
+		// movement (not per-run fixed costs) dominates — the regime the
+		// paper's claims are about.
+		if i == len(rep.Msizes)-1 {
+			ov, err := measureOverhead(sc, msize)
+			if err != nil {
+				return "", err
+			}
+			ov.EventsPerRank = float64(len(events)) / float64(rep.Machines)
+			out.Overhead = ov
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+short+".json")
+	buf, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// measureOverhead times the compiled routine on the in-process mem transport
+// (real byte movement — the configuration the ≤5% overhead target is stated
+// for) bare versus instrumented. Best-of-N interleaved wall times, so
+// scheduler noise and first-run warmup drop out.
+func measureOverhead(sc *alltoall.Scheduled, msize int) (benchOverhead, error) {
+	n := sc.NumRanks()
+	runOnce := func(instrument bool) (float64, error) {
+		t0 := time.Now()
+		err := mem.Run(n, func(c mpi.Comm) error {
+			if instrument {
+				c = obsv.Instrument(c, obsv.NewRecorder(c.Rank()))
+			}
+			return sc.Fn()(c, alltoall.NewShared(msize), msize)
+		})
+		return time.Since(t0).Seconds(), err
+	}
+	ov := benchOverhead{Msize: msize}
+	bareWall, obsWall := math.Inf(1), math.Inf(1)
+	const reps = 7
+	for r := 0; r < reps; r++ {
+		w, err := runOnce(false)
+		if err != nil {
+			return ov, err
+		}
+		bareWall = math.Min(bareWall, w)
+		if w, err = runOnce(true); err != nil {
+			return ov, err
+		}
+		obsWall = math.Min(obsWall, w)
+	}
+	ov.BareWallSeconds, ov.ObservedWallSeconds = bareWall, obsWall
+	if bareWall > 0 {
+		ov.OverheadFrac = obsWall/bareWall - 1
+	}
+	return ov, nil
 }
 
 // appendCSV writes CSV rows to a file or stdout.

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 )
@@ -34,9 +37,34 @@ func TestParseMsizes(t *testing.T) {
 	}
 }
 
+// benchOpts builds an options value with sane test defaults and applies the
+// mutation.
+func benchOpts(mutate func(*options)) options {
+	o := options{
+		topo:   "fig1",
+		msizes: "8K",
+		bwMbps: 100,
+		alpha:  0.5e-3,
+		minEff: 0.6,
+		iters:  1,
+	}
+	if mutate != nil {
+		mutate(&o)
+	}
+	return o
+}
+
 func TestRunEndToEnd(t *testing.T) {
 	// Full driver path on the small example topology, all features on.
-	err := run("fig1", "", "8K", 100, 0.5e-3, 0.6, true, true, true, 0.3, 1e-4, "-", 2)
+	err := run(benchOpts(func(o *options) {
+		o.ablation = true
+		o.plot = true
+		o.gantt = true
+		o.jitter = 0.3
+		o.control = 1e-4
+		o.csvPath = "-"
+		o.iters = 2
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,19 +76,54 @@ func TestRunTopologyFile(t *testing.T) {
 	if err := writeTestTopo(path); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", path, "4K", 100, 0.5e-3, 1, false, false, false, 0, 0, "", 1); err != nil {
+	err := run(benchOpts(func(o *options) {
+		o.topo = ""
+		o.file = path
+		o.msizes = "4K"
+		o.minEff = 1
+	}))
+	if err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestRunJSONReport(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(benchOpts(func(o *options) { o.jsonDir = dir })); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(filepath.Join(dir, "BENCH_fig1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchJSON
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("BENCH_fig1.json does not parse: %v", err)
+	}
+	if rep.Name != "fig1" || rep.Machines == 0 || len(rep.Cells) == 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if len(rep.Phases) == 0 || len(rep.Phases[0].Phases) == 0 {
+		t.Fatalf("report has no phase breakdown: %+v", rep.Phases)
+	}
+	for _, c := range rep.Cells {
+		if c.Seconds <= 0 || c.ThroughputMbps <= 0 {
+			t.Errorf("degenerate cell %+v", c)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("nope", "", "", 100, 0, 0.6, false, false, false, 0, 0, "", 1); err == nil {
+	if err := run(benchOpts(func(o *options) { o.topo = "nope"; o.msizes = "" })); err == nil {
 		t.Error("want error for unknown preset")
 	}
-	if err := run("", "/does/not/exist", "", 100, 0, 0.6, false, false, false, 0, 0, "", 1); err == nil {
+	if err := run(benchOpts(func(o *options) { o.topo = ""; o.file = "/does/not/exist"; o.msizes = "" })); err == nil {
 		t.Error("want error for missing file")
 	}
-	if err := run("fig1", "", "zap", 100, 0, 0.6, false, false, false, 0, 0, "", 1); err == nil {
+	if err := run(benchOpts(func(o *options) { o.msizes = "zap" })); err == nil {
 		t.Error("want error for bad msizes")
+	}
+	if err := run(benchOpts(func(o *options) { o.render = "/does/not/exist.jsonl" })); err == nil {
+		t.Error("want error for missing render file")
 	}
 }

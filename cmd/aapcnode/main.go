@@ -32,6 +32,7 @@ import (
 	"github.com/aapc-sched/aapcsched/internal/harness"
 	"github.com/aapc-sched/aapcsched/internal/mpi"
 	"github.com/aapc-sched/aapcsched/internal/mpi/tcp"
+	"github.com/aapc-sched/aapcsched/internal/obsv"
 	"github.com/aapc-sched/aapcsched/internal/topology"
 )
 
@@ -47,6 +48,8 @@ type options struct {
 	deadline   time.Duration
 	rendezvous time.Duration
 	faultsSpec string
+	metrics    string
+	tracePath  string
 }
 
 func main() {
@@ -65,6 +68,10 @@ func main() {
 		"rendezvous window: coordinator waits this long for all ranks, joiners retry dialing within it")
 	flag.StringVar(&o.faultsSpec, "faults", "",
 		"fault plan: a file path, or inline DSL with ';' as line separator (see internal/faults)")
+	flag.StringVar(&o.metrics, "metrics", "",
+		"serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address for the run's duration (e.g. 127.0.0.1:9100)")
+	flag.StringVar(&o.tracePath, "trace", "",
+		"write the run's obsv event trace as JSONL to this file (render with aapcbench -render)")
 	flag.Parse()
 	if err := run(&o); err != nil {
 		if re, ok := mpi.AsRankError(err); ok {
@@ -92,14 +99,37 @@ func loadFaults(spec string) (*faults.Plan, error) {
 // wrapFaults decorates the comm with the fault plan, if any. Per-process
 // injectors sharing a plan stay globally deterministic: each directed pair
 // stream is consulted only by its source rank, each rank stream only by the
-// rank itself.
-func wrapFaults(c mpi.Comm, plan *faults.Plan, deadline time.Duration) mpi.Comm {
+// rank itself. Injected faults are counted on rec when non-nil.
+func wrapFaults(c mpi.Comm, plan *faults.Plan, deadline time.Duration, rec *obsv.Recorder) mpi.Comm {
 	if plan == nil {
 		return c
 	}
 	inj := faults.New(plan)
 	inj.SetOpTimeout(deadline)
+	inj.SetRecorder(rec)
 	return inj.Wrap(c)
+}
+
+// instrument builds this rank's recorder and wraps the comm for
+// observability: faults innermost (so injected chaos hits the raw
+// transport), the obsv wrapper outermost (so alltoall.Scheduled finds the
+// phase marker through the decorator chain).
+func instrument(c mpi.Comm, plan *faults.Plan, deadline time.Duration) (mpi.Comm, *obsv.Recorder) {
+	rec := obsv.NewRecorder(c.Rank())
+	return obsv.Instrument(wrapFaults(c, plan, deadline, rec), rec), rec
+}
+
+// writeTrace writes the merged event trace of the recorders as JSONL.
+func writeTrace(path string, meta obsv.Meta, recs ...*obsv.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obsv.WriteRecorders(f, meta, recs...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(o *options) error {
@@ -129,7 +159,25 @@ func run(o *options) error {
 			return err
 		}
 		defer closeFn()
-		return runRank(wrapFaults(c, plan, o.deadline), fn, msize, os.Stdout)
+		ic, rec := instrument(c, plan, o.deadline)
+		if o.metrics != "" {
+			addr, closeSrv, err := obsv.ServeMetrics(o.metrics, obsv.NewRegistry(rec))
+			if err != nil {
+				return err
+			}
+			if addr != "" {
+				fmt.Printf("rank %d metrics on http://%s/metrics\n", c.Rank(), addr)
+			}
+			defer closeSrv()
+		}
+		if err := runRank(ic, fn, msize, os.Stdout); err != nil {
+			return err
+		}
+		if o.tracePath != "" {
+			meta := obsv.Meta{Ranks: c.Size(), Transport: "tcp", Name: o.alg, Msize: msize}
+			return writeTrace(o.tracePath, meta, rec)
+		}
+		return nil
 	case o.local:
 		fn, g, err := buildAlgorithm(o.preset, o.file, o.alg, o.deadline)
 		if err != nil {
@@ -142,9 +190,21 @@ func run(o *options) error {
 		}
 		fmt.Printf("local world of %d ranks via %s, algorithm %s, msize %s\n",
 			n, coord.Addr(), o.alg, harness.FormatMsize(msize))
+		reg := obsv.NewRegistry()
+		if o.metrics != "" {
+			addr, closeSrv, err := obsv.ServeMetrics(o.metrics, reg)
+			if err != nil {
+				return err
+			}
+			if addr != "" {
+				fmt.Printf("metrics on http://%s/metrics\n", addr)
+			}
+			defer closeSrv()
+		}
 		var wg sync.WaitGroup
 		errs := make(chan error, n)
 		var mu sync.Mutex // serialize per-rank report lines
+		recs := make([]*obsv.Recorder, n)
 		for i := 0; i < n; i++ {
 			wg.Add(1)
 			go func() {
@@ -155,7 +215,12 @@ func run(o *options) error {
 					return
 				}
 				defer closeFn()
-				errs <- runRank(wrapFaults(c, plan, o.deadline), fn, msize, &lockedWriter{mu: &mu})
+				ic, rec := instrument(c, plan, o.deadline)
+				mu.Lock()
+				recs[c.Rank()] = rec
+				mu.Unlock()
+				reg.Add(rec)
+				errs <- runRank(ic, fn, msize, &lockedWriter{mu: &mu})
 			}()
 		}
 		wg.Wait()
@@ -167,6 +232,16 @@ func run(o *options) error {
 		}
 		if err := coord.Wait(); err != nil && first == nil {
 			first = err
+		}
+		if o.tracePath != "" && first == nil {
+			present := recs[:0:0]
+			for _, r := range recs {
+				if r != nil {
+					present = append(present, r)
+				}
+			}
+			meta := obsv.Meta{Ranks: n, Transport: "tcp", Name: o.alg, Msize: msize}
+			first = writeTrace(o.tracePath, meta, present...)
 		}
 		return first
 	default:

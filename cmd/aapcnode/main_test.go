@@ -1,9 +1,14 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/aapc-sched/aapcsched/internal/harness"
+	"github.com/aapc-sched/aapcsched/internal/trace"
 )
 
 func TestParseSize(t *testing.T) {
@@ -87,5 +92,47 @@ func TestRunErrors(t *testing.T) {
 		t.Error("want error joining dead coordinator")
 	} else if !strings.Contains(err.Error(), "dial") && !strings.Contains(err.Error(), "connect") {
 		t.Logf("join error (accepted): %v", err)
+	}
+}
+
+// TestLocalWorldObserved runs the instrumented local world with a metrics
+// endpoint and a JSONL trace, then checks the trace renders to a complete
+// timeline: one data flow per ordered rank pair, correct world size.
+func TestLocalWorldObserved(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	o := opts(func(o *options) {
+		o.metrics = "127.0.0.1:0"
+		o.tracePath = path
+	})
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tl, meta, err := trace.LoadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := harness.Preset(o.preset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumMachines()
+	if meta.Ranks != n || meta.Transport != "tcp" {
+		t.Errorf("trace meta %+v, want %d tcp ranks", meta, n)
+	}
+	st := tl.Stats()
+	if st.DataFlows != n*(n-1) {
+		t.Errorf("trace has %d data flows, want %d", st.DataFlows, n*(n-1))
+	}
+	if st.ControlFlows == 0 {
+		t.Error("trace has no sync control flows")
+	}
+	if rows := strings.Count(tl.Gantt(40), "rank"); rows != n {
+		t.Errorf("Gantt has %d rows, want %d", rows, n)
 	}
 }

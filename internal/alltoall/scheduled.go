@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/aapc-sched/aapcsched/internal/mpi"
+	"github.com/aapc-sched/aapcsched/internal/obsv"
 	"github.com/aapc-sched/aapcsched/internal/schedule"
 	"github.com/aapc-sched/aapcsched/internal/syncplan"
 )
@@ -176,9 +177,15 @@ func (sc *Scheduled) FnTimeout(d time.Duration) Func {
 			recvReqs[i] = c.Irecv(b.RecvBlock(src), src, tagData)
 		}
 
+		// When the comm is instrumented (obsv.Instrument), mark phase
+		// boundaries and synchronization stalls so phase drift is measurable
+		// on real transports, not just in the simulator.
+		marker := obsv.MarkerFor(c)
+
 		var syncSends []mpi.Request
 		syncByte := []byte{1}
 		phase := 0
+		curPhase := -1
 		for _, st := range prog.sends {
 			if sc.mode == BarrierSync {
 				// Enter the send's phase, barrier-separated.
@@ -189,9 +196,20 @@ func (sc *Scheduled) FnTimeout(d time.Duration) Func {
 					phase++
 				}
 			}
+			if marker != nil && st.phase != curPhase {
+				marker.MarkPhase(st.phase)
+			}
+			curPhase = st.phase
 			for _, w := range st.waitFor {
+				var waitStart float64
+				if marker != nil {
+					waitStart = c.Now()
+				}
 				if err := mpi.RecvTimeout(c, make([]byte, 1), w.peer, w.tag, d); err != nil {
 					return fmt.Errorf("alltoall: phase %d sync wait from %d: %w", st.phase, w.peer, err)
+				}
+				if marker != nil {
+					marker.MarkSyncWait(w.peer, waitStart, c.Now())
 				}
 			}
 			if err := mpi.SendTimeout(c, b.SendBlock(st.dst), st.dst, tagData, d); err != nil {

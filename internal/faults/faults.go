@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/aapc-sched/aapcsched/internal/mpi"
+	"github.com/aapc-sched/aapcsched/internal/obsv"
 )
 
 // Injector evaluates a Plan deterministically. It serves two hook points:
@@ -32,6 +33,7 @@ type Injector struct {
 	killed    map[int]bool
 	events    []Event
 	opTimeout time.Duration
+	recorder  *obsv.Recorder
 }
 
 // New builds an injector for the plan. A nil plan injects nothing.
@@ -44,6 +46,23 @@ func New(plan *Plan) *Injector {
 		pairNext: make(map[[2]int]int),
 		rankNext: make(map[int]int),
 		killed:   make(map[int]bool),
+	}
+}
+
+// SetRecorder mirrors every injected fault into r's counters as
+// aapc_faults_injected_total{kind="..."}, so injected chaos is visible on
+// the same metrics endpoint as the communication it disturbs.
+func (inj *Injector) SetRecorder(r *obsv.Recorder) {
+	inj.mu.Lock()
+	inj.recorder = r
+	inj.mu.Unlock()
+}
+
+// countInjected bumps the recorder counter for one fired rule. Caller holds
+// inj.mu.
+func (inj *Injector) countInjected(kind Kind) {
+	if inj.recorder != nil {
+		inj.recorder.Counters().Inc(fmt.Sprintf("aapc_faults_injected_total{kind=%q}", kind))
 	}
 }
 
@@ -144,6 +163,7 @@ func (inj *Injector) FrameFault(src, dst int) (mpi.FaultOp, time.Duration) {
 		return mpi.FaultNone, 0
 	}
 	inj.events = append(inj.events, Event{Kind: r.Kind, Src: src, Dst: dst, Op: k, Delay: r.Delay})
+	inj.countInjected(r.Kind)
 	inj.mu.Unlock()
 	switch r.Kind {
 	case Delay:
@@ -165,6 +185,7 @@ func (inj *Injector) nextPairFault(src, dst int) *Rule {
 	r := inj.decidePair(src, dst, k)
 	if r != nil {
 		inj.events = append(inj.events, Event{Kind: r.Kind, Src: src, Dst: dst, Op: k, Delay: r.Delay})
+		inj.countInjected(r.Kind)
 	}
 	return r
 }
@@ -182,6 +203,7 @@ func (inj *Injector) nextRankFault(rank int) *Rule {
 	r := inj.decideRank(rank, k)
 	if r != nil {
 		inj.events = append(inj.events, Event{Kind: r.Kind, Src: rank, Dst: Any, Op: k, Delay: r.Delay})
+		inj.countInjected(r.Kind)
 		if r.Kind == Kill {
 			inj.killed[rank] = true
 		}

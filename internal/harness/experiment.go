@@ -5,6 +5,7 @@ import (
 
 	"github.com/aapc-sched/aapcsched/internal/alltoall"
 	"github.com/aapc-sched/aapcsched/internal/mpi"
+	"github.com/aapc-sched/aapcsched/internal/obsv"
 	"github.com/aapc-sched/aapcsched/internal/schedule"
 	"github.com/aapc-sched/aapcsched/internal/simnet"
 	"github.com/aapc-sched/aapcsched/internal/syncplan"
@@ -224,6 +225,32 @@ func (r *Report) Cell(alg string, msize int) (Result, bool) {
 		}
 	}
 	return Result{}, false
+}
+
+// MeasureObserved is Measure with obsv instrumentation: every rank runs
+// through an instrumenting wrapper and the per-rank recorders come back with
+// the virtual completion time. From the recorders' merged events the caller
+// gets phase statistics (obsv.PhaseStats) and a JSONL trace
+// (obsv.WriteRecorders) for the same run the time was measured on. Under
+// -tags obsv_off the recorders come back empty and the measurement is
+// unchanged.
+func MeasureObserved(net simnet.Config, fn alltoall.Func, msize int) (float64, []*obsv.Recorder, error) {
+	w, err := simnet.NewWorld(net)
+	if err != nil {
+		return 0, nil, err
+	}
+	recs := make([]*obsv.Recorder, net.Graph.NumMachines())
+	for i := range recs {
+		recs[i] = obsv.NewRecorder(i)
+	}
+	err = w.Run(func(c mpi.Comm) error {
+		ic := obsv.Instrument(c, recs[c.Rank()])
+		return fn(ic, alltoall.NewShared(msize), msize)
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return w.Elapsed(), recs, nil
 }
 
 // MeasureTraced is Measure returning the run's flow records as well, for

@@ -22,12 +22,15 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"log"
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/aapc-sched/aapcsched/internal/mpi"
+	"github.com/aapc-sched/aapcsched/internal/obsv"
 )
 
 // Frame wire format: kind (1 byte) | tag (int64) | seq (uint64) |
@@ -93,6 +96,9 @@ type Config struct {
 	// (first transmission only) to inject delays, connection drops and
 	// duplicates.
 	Faults mpi.FaultInjector
+	// Recorder, when non-nil, receives the world's recovery counters
+	// (mirrored at close) so they show up on the obsv metrics endpoint.
+	Recorder *obsv.Recorder
 }
 
 // Option customizes a World.
@@ -121,11 +127,77 @@ func WithoutResilience() Option {
 	return func(c *Config) { c.Resilient = false }
 }
 
+// WithRecorder mirrors the world's transport counters into r when the world
+// closes, so recovery activity appears alongside the communication metrics
+// on an obsv endpoint.
+func WithRecorder(r *obsv.Recorder) Option {
+	return func(c *Config) { c.Recorder = r }
+}
+
+// Stats is a snapshot of a world's transport counters: traffic volume plus
+// every recovery action the resilience layer took. On a healthy loopback run
+// the recovery counters stay zero; under injected faults or real socket
+// trouble they quantify how hard the transport worked to hide it.
+type Stats struct {
+	// FramesSent and AcksSent count successfully written frames (including
+	// retransmissions and injected duplicates); BytesSent is the payload
+	// volume of the data frames among them.
+	FramesSent uint64
+	AcksSent   uint64
+	BytesSent  uint64
+	// Reconnects counts successful pair redials; ReconnectFailures counts
+	// pairs that exhausted their redial budget and failed terminally.
+	Reconnects        uint64
+	ReconnectFailures uint64
+	// Retransmits counts data frames rewritten after a reconnect.
+	Retransmits uint64
+	// DupDiscards counts received data frames dropped by the sequence
+	// cursor as already-delivered (retransmission or injected duplicate).
+	DupDiscards uint64
+	// BackoffSleeps and BackoffNanos account the time spent waiting between
+	// redial attempts.
+	BackoffSleeps uint64
+	BackoffNanos  uint64
+}
+
+// recovered reports whether any resilience machinery fired.
+func (s Stats) recovered() bool {
+	return s.Reconnects+s.ReconnectFailures+s.Retransmits+s.DupDiscards+s.BackoffSleeps > 0
+}
+
+// stats holds the world's counters; all fields are updated atomically.
+type stats struct {
+	framesSent        atomic.Uint64
+	acksSent          atomic.Uint64
+	bytesSent         atomic.Uint64
+	reconnects        atomic.Uint64
+	reconnectFailures atomic.Uint64
+	retransmits       atomic.Uint64
+	dupDiscards       atomic.Uint64
+	backoffSleeps     atomic.Uint64
+	backoffNanos      atomic.Uint64
+}
+
+func (st *stats) snapshot() Stats {
+	return Stats{
+		FramesSent:        st.framesSent.Load(),
+		AcksSent:          st.acksSent.Load(),
+		BytesSent:         st.bytesSent.Load(),
+		Reconnects:        st.reconnects.Load(),
+		ReconnectFailures: st.reconnectFailures.Load(),
+		Retransmits:       st.retransmits.Load(),
+		DupDiscards:       st.dupDiscards.Load(),
+		BackoffSleeps:     st.backoffSleeps.Load(),
+		BackoffNanos:      st.backoffNanos.Load(),
+	}
+}
+
 // World is a set of ranks connected pairwise by loopback TCP.
 type World struct {
 	n     int
 	start time.Time
 	cfg   Config
+	stats stats
 
 	listener net.Listener
 	addr     string
@@ -380,6 +452,10 @@ func NewWorld(n int, opts ...Option) ([]mpi.Comm, func() error, error) {
 	return comms, w.close, nil
 }
 
+// Stats snapshots the world's transport counters. Safe to call at any time,
+// including after close.
+func (w *World) Stats() Stats { return w.stats.snapshot() }
+
 func (w *World) linkFor(a, b int) *link {
 	if a > b {
 		a, b = b, a
@@ -495,6 +571,27 @@ func (w *World) close() error {
 			}
 		}
 		w.wg.Wait()
+		s := w.stats.snapshot()
+		if s.recovered() {
+			// One line, only when the resilience layer actually did work:
+			// silence means a clean run.
+			log.Printf("tcp: world closed after recovery activity: "+
+				"reconnects=%d reconnect_failures=%d retransmits=%d dup_discards=%d backoff_sleeps=%d backoff=%s",
+				s.Reconnects, s.ReconnectFailures, s.Retransmits, s.DupDiscards,
+				s.BackoffSleeps, time.Duration(s.BackoffNanos))
+		}
+		if r := w.cfg.Recorder; r != nil {
+			c := r.Counters()
+			c.Add("aapc_tcp_frames_sent_total", s.FramesSent)
+			c.Add("aapc_tcp_acks_sent_total", s.AcksSent)
+			c.Add("aapc_tcp_payload_bytes_sent_total", s.BytesSent)
+			c.Add("aapc_tcp_reconnects_total", s.Reconnects)
+			c.Add("aapc_tcp_reconnect_failures_total", s.ReconnectFailures)
+			c.Add("aapc_tcp_retransmits_total", s.Retransmits)
+			c.Add("aapc_tcp_duplicate_discards_total", s.DupDiscards)
+			c.Add("aapc_tcp_backoff_sleeps_total", s.BackoffSleeps)
+			c.Add("aapc_tcp_backoff_nanoseconds_total", s.BackoffNanos)
+		}
 	})
 	return w.closeErr
 }
@@ -655,6 +752,8 @@ func (w *World) reconnect(lk *link, cause error) {
 			f := 1 + res.Jitter*(2*rand.Float64()-1)
 			d = time.Duration(float64(d) * f)
 		}
+		w.stats.backoffSleeps.Add(1)
+		w.stats.backoffNanos.Add(uint64(d))
 		select {
 		case <-time.After(d):
 		case <-w.closed:
@@ -685,6 +784,7 @@ func (w *World) reconnect(lk *link, cause error) {
 		epoch := lk.epoch
 		lk.cond.Broadcast()
 		lk.mu.Unlock()
+		w.stats.reconnects.Add(1)
 		// Retransmit everything unacknowledged in both directions; the
 		// receivers' sequence cursors discard what already arrived.
 		w.streams[lk.lo][lk.hi].rewind()
@@ -699,6 +799,7 @@ func (w *World) reconnect(lk *link, cause error) {
 }
 
 func (w *World) reconnectFailed(lk *link, err error) {
+	w.stats.reconnectFailures.Add(1)
 	lk.mu.Lock()
 	if lk.state == linkReconnecting {
 		lk.state = linkDown
@@ -800,6 +901,7 @@ func (w *World) writer(st *sendStream) {
 			fr = st.unacked[st.resend]
 			st.resend++
 			retransmit = true
+			w.stats.retransmits.Add(1)
 		} else {
 			fr = st.queue[0]
 			st.queue = st.queue[1:]
@@ -853,8 +955,14 @@ func (w *World) writer(st *sendStream) {
 		}
 
 		werr := writeFrame(conn, fr)
+		if werr == nil {
+			w.countWrite(fr)
+		}
 		if werr == nil && dup {
 			werr = writeFrame(conn, fr)
+			if werr == nil {
+				w.countWrite(fr)
+			}
 		}
 		if werr != nil {
 			w.linkBroken(lk, epoch, werr)
@@ -867,6 +975,16 @@ func (w *World) writer(st *sendStream) {
 		if fr.kind == frameData {
 			w.completeFrame(st, fr, nil)
 		}
+	}
+}
+
+// countWrite accounts one successfully written frame.
+func (w *World) countWrite(fr *outFrame) {
+	if fr.kind == frameData {
+		w.stats.framesSent.Add(1)
+		w.stats.bytesSent.Add(uint64(len(fr.buf)))
+	} else {
+		w.stats.acksSent.Add(1)
 	}
 }
 
@@ -938,6 +1056,7 @@ func (w *World) readLoop(r, p int, conn net.Conn, epoch int) {
 					// re-ack so the sender prunes its window.
 					next := st.recvNext
 					st.mu.Unlock()
+					w.stats.dupDiscards.Add(1)
 					st.enqueueAck(next)
 					continue
 				case seq > st.recvNext:

@@ -1,0 +1,8 @@
+//go:build obsv_off
+
+package obsv
+
+// Enabled is false under -tags obsv_off: Instrument returns communicators
+// unchanged and recording methods return immediately, so the layer compiles
+// out of the binary.
+const Enabled = false

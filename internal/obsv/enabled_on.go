@@ -1,0 +1,8 @@
+//go:build !obsv_off
+
+package obsv
+
+// Enabled reports whether the observability layer is compiled in. Building
+// with -tags obsv_off flips it to false, turning every recording call into a
+// constant-folded no-op.
+const Enabled = true

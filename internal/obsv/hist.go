@@ -1,0 +1,218 @@
+package obsv
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// numBuckets covers the full uint64 range: bucket k holds values v with
+// bits.Len64(v) == k, i.e. bucket 0 holds only 0 and bucket k >= 1 holds
+// [2^(k-1), 2^k).
+const numBuckets = 65
+
+// Histogram is a log2-bucketed histogram of non-negative integer
+// observations (nanoseconds for latencies, bytes for sizes). The zero value
+// is ready to use. Histograms from different ranks merge exactly: buckets
+// add, so cluster-wide quantile estimates cost nothing to assemble.
+//
+// A Histogram is a plain value with no internal locking: the Recorder
+// serializes access to its histograms under the per-rank mutex, and the
+// snapshots it hands out are copies that need no synchronization.
+type Histogram struct {
+	counts  [numBuckets]uint64
+	total   uint64
+	sum     float64
+	maxSeen uint64
+}
+
+// Observe records one value. Not safe for concurrent use on a shared
+// histogram; Recorder guards its histograms with the per-rank mutex.
+func (h *Histogram) Observe(v uint64) {
+	if !Enabled || h == nil {
+		return
+	}
+	h.counts[bits.Len64(v)]++
+	h.total++
+	h.sum += float64(v)
+	if v > h.maxSeen {
+		h.maxSeen = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() uint64 { return h.maxSeen }
+
+// Mean returns the arithmetic mean of observations, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Merge adds other's buckets into h. Exact: merging per-rank histograms
+// yields the histogram the whole world would have recorded.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.maxSeen > h.maxSeen {
+		h.maxSeen = other.maxSeen
+	}
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) as the geometric midpoint
+// of the bucket containing the q-th observation. The estimate is exact to
+// within a factor of 2 — sufficient for latency triage, free to maintain.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation.
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for k, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return bucketMid(k)
+		}
+	}
+	return bucketMid(numBuckets - 1)
+}
+
+// bucketMid returns the representative value of bucket k: 0 for the zero
+// bucket, the geometric midpoint sqrt(2^(k-1) * 2^k) otherwise.
+func bucketMid(k int) float64 {
+	if k == 0 {
+		return 0
+	}
+	return math.Sqrt(math.Pow(2, float64(k-1)) * math.Pow(2, float64(k)))
+}
+
+// Buckets returns the non-empty buckets as (upper bound, count) pairs in
+// ascending order — the form Prometheus-style cumulative rendering needs.
+func (h *Histogram) Buckets() []BucketCount {
+	var out []BucketCount
+	for k, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		var ub uint64
+		switch {
+		case k == 0:
+			ub = 0
+		case k == 64:
+			ub = math.MaxUint64
+		default:
+			ub = 1<<uint(k) - 1
+		}
+		out = append(out, BucketCount{UpperBound: ub, Count: c})
+	}
+	return out
+}
+
+// BucketCount is one non-empty histogram bucket.
+type BucketCount struct {
+	// UpperBound is the largest value the bucket admits.
+	UpperBound uint64
+	// Count is the number of observations in the bucket.
+	Count uint64
+}
+
+// String renders a compact summary for logs and reports.
+func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "(empty)"
+	}
+	return fmt.Sprintf("n=%d mean=%.0f p50=%.0f p99=%.0f max=%d",
+		h.total, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.maxSeen)
+}
+
+// Counters is a set of named monotonic counters. Names double as the metric
+// identity on the /metrics endpoint, so they follow Prometheus conventions
+// (snake_case with a _total suffix, optional {label="value"} suffix). The
+// zero value is ready to use; all methods tolerate a nil receiver so
+// instrumentation points never need nil checks.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+// Add increments the named counter by delta.
+func (c *Counters) Add(name string, delta uint64) {
+	if !Enabled || c == nil || delta == 0 {
+		return
+	}
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]uint64)
+	}
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Inc increments the named counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the counter's current value (0 if never incremented).
+func (c *Counters) Get(name string) uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns a copy of every counter.
+func (c *Counters) Snapshot() map[string]uint64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]uint64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Summary renders the counters sorted by name, one "name=value" per entry.
+func (c *Counters) Summary() string {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%d", n, snap[n])
+	}
+	return strings.Join(parts, " ")
+}

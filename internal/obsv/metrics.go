@@ -1,0 +1,161 @@
+package obsv
+
+import (
+	_ "expvar" // registers /debug/vars on http.DefaultServeMux
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on http.DefaultServeMux
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry aggregates recorders for the metrics endpoint. Rendering merges
+// across ranks: per-kind event totals, byte volumes, latency histograms and
+// every named counter. It implements http.Handler (Prometheus text
+// exposition format), so it can be mounted on any mux.
+type Registry struct {
+	mu   sync.Mutex
+	recs []*Recorder
+}
+
+// NewRegistry builds a registry over the given recorders.
+func NewRegistry(recs ...*Recorder) *Registry {
+	g := &Registry{}
+	g.recs = append(g.recs, recs...)
+	return g
+}
+
+// Add registers another recorder.
+func (g *Registry) Add(r *Recorder) {
+	if r == nil {
+		return
+	}
+	g.mu.Lock()
+	g.recs = append(g.recs, r)
+	g.mu.Unlock()
+}
+
+// Recorders returns the registered recorders.
+func (g *Registry) Recorders() []*Recorder {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]*Recorder(nil), g.recs...)
+}
+
+// ServeHTTP renders the current metrics in Prometheus text format.
+func (g *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	g.WriteMetrics(w)
+}
+
+// WriteMetrics writes the Prometheus text exposition of everything the
+// registered recorders know: event counts by kind, payload volumes, merged
+// latency/size histograms, and every named counter (tcp recovery activity,
+// injected faults).
+func (g *Registry) WriteMetrics(w io.Writer) {
+	recs := g.Recorders()
+
+	kindTotals := make(map[Kind]uint64)
+	var bytesSent, bytesRecv uint64
+	var sendWait, recvWait, barrierWait, syncWait, sendBytes Histogram
+	counters := make(map[string]uint64)
+	for _, r := range recs {
+		for _, ev := range r.Events() {
+			kindTotals[ev.Kind]++
+		}
+		bytesSent += r.BytesSent()
+		bytesRecv += r.BytesRecv()
+		for _, m := range []struct {
+			into *Histogram
+			from Histogram
+		}{
+			{&sendWait, r.SendWait()},
+			{&recvWait, r.RecvWait()},
+			{&barrierWait, r.BarrierWait()},
+			{&syncWait, r.SyncWait()},
+			{&sendBytes, r.SendBytes()},
+		} {
+			m.into.Merge(&m.from)
+		}
+		for name, v := range r.Counters().Snapshot() {
+			counters[name] += v
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP aapc_ranks Number of ranks reporting to this endpoint.\n")
+	fmt.Fprintf(w, "# TYPE aapc_ranks gauge\naapc_ranks %d\n", len(recs))
+
+	fmt.Fprintf(w, "# HELP aapc_events_total Recorded communication events by kind.\n")
+	fmt.Fprintf(w, "# TYPE aapc_events_total counter\n")
+	for _, k := range []Kind{KindSend, KindRecv, KindBarrier, KindPhase, KindSyncWait} {
+		fmt.Fprintf(w, "aapc_events_total{kind=%q} %d\n", k.String(), kindTotals[k])
+	}
+
+	fmt.Fprintf(w, "# HELP aapc_bytes_total Payload bytes by direction.\n")
+	fmt.Fprintf(w, "# TYPE aapc_bytes_total counter\n")
+	fmt.Fprintf(w, "aapc_bytes_total{dir=\"sent\"} %d\n", bytesSent)
+	fmt.Fprintf(w, "aapc_bytes_total{dir=\"recv\"} %d\n", bytesRecv)
+
+	writeHistogram(w, "aapc_send_wait_seconds", "Send post-to-completion latency.", &sendWait, 1e-9)
+	writeHistogram(w, "aapc_recv_wait_seconds", "Receive post-to-completion latency.", &recvWait, 1e-9)
+	writeHistogram(w, "aapc_barrier_seconds", "Barrier entry-to-exit latency.", &barrierWait, 1e-9)
+	writeHistogram(w, "aapc_sync_wait_seconds", "Pair-wise synchronization stall time.", &syncWait, 1e-9)
+	writeHistogram(w, "aapc_send_size_bytes", "Send payload sizes.", &sendBytes, 1)
+
+	names := make([]string, 0, len(counters))
+	for n := range counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		base := n
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", base, n, counters[n])
+	}
+}
+
+// writeHistogram renders one merged histogram as a Prometheus cumulative
+// histogram. scale converts raw bucket bounds into the exposed unit
+// (1e-9 turns nanosecond observations into seconds).
+func writeHistogram(w io.Writer, name, help string, h *Histogram, scale float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for _, b := range h.Buckets() {
+		cum += b.Count
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(float64(b.UpperBound)*scale), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum()*scale)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+}
+
+func formatBound(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", v), "0"), ".")
+}
+
+// ServeMetrics starts an HTTP server on addr exposing /metrics (Prometheus
+// text over the registry), /debug/vars (expvar) and /debug/pprof. It
+// returns the bound address (useful with ":0") and a closer. Under
+// -tags obsv_off it binds nothing and returns a no-op closer.
+func ServeMetrics(addr string, g *Registry) (string, func() error, error) {
+	if !Enabled {
+		return "", func() error { return nil }, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", g)
+	// expvar and pprof register themselves on the default mux.
+	mux.Handle("/debug/", http.DefaultServeMux)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

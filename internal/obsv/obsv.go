@@ -1,0 +1,394 @@
+// Package obsv is the repository's transport-agnostic observability layer:
+// structured events, counters and log2-bucketed histograms recorded while an
+// algorithm runs over any mpi.Comm — in-process memory, loopback TCP,
+// distributed TCP or the virtual-time simulator.
+//
+// The paper's whole argument is about where time goes: contention-free
+// phases versus oversubscribed edges, synchronization cost versus drift.
+// Until now only the simulator could show that (internal/simnet records flow
+// traces that internal/trace renders). This package closes the gap for the
+// real transports:
+//
+//   - Instrument wraps a Comm so that every Isend/Irecv/Wait/Barrier becomes
+//     an Event (src, dst, tag, bytes, start/finish via Comm.Now()) in a
+//     per-rank Recorder. One rank, one Recorder, one uncontended mutex: the
+//     hot path is an append and two Now() calls.
+//   - alltoall.Scheduled marks phase boundaries and synchronization waits
+//     through the Marker interface, making phase drift and stall time
+//     first-class measurements on every transport.
+//   - The tcp transport and the fault injector feed named Counters
+//     (reconnects, retransmits, duplicate discards, injected faults).
+//   - Two sinks: a Prometheus-text /metrics HTTP endpoint (metrics.go) and a
+//     JSONL event trace (jsonl.go) that internal/trace loads back into the
+//     same Gantt/stat rendering used for simulator runs.
+//
+// Building with -tags obsv_off turns the whole layer into no-ops: Instrument
+// returns the communicator unchanged and recording methods return
+// immediately, so the instrumentation compiles out of deployments that do
+// not want it.
+package obsv
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/aapc-sched/aapcsched/internal/mpi"
+)
+
+// Kind classifies an Event.
+type Kind uint8
+
+const (
+	// KindSend is one completed (or failed) nonblocking send.
+	KindSend Kind = iota
+	// KindRecv is one completed (or failed) nonblocking receive.
+	KindRecv
+	// KindBarrier is one barrier entry/exit.
+	KindBarrier
+	// KindPhase marks a rank entering a schedule phase (Marker.MarkPhase);
+	// Start == End.
+	KindPhase
+	// KindSyncWait is the time a rank spent blocked waiting for a pair-wise
+	// synchronization message before it was allowed to send.
+	KindSyncWait
+)
+
+// String names the kind as it appears in JSONL traces.
+func (k Kind) String() string {
+	switch k {
+	case KindSend:
+		return "send"
+	case KindRecv:
+		return "recv"
+	case KindBarrier:
+		return "barrier"
+	case KindPhase:
+		return "phase"
+	case KindSyncWait:
+		return "syncwait"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// MarshalText renders the kind for JSON.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses the JSON form.
+func (k *Kind) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "send":
+		*k = KindSend
+	case "recv":
+		*k = KindRecv
+	case "barrier":
+		*k = KindBarrier
+	case "phase":
+		*k = KindPhase
+	case "syncwait":
+		*k = KindSyncWait
+	default:
+		return fmt.Errorf("obsv: unknown event kind %q", b)
+	}
+	return nil
+}
+
+// Event is one recorded operation. Times are Comm.Now() seconds — wall clock
+// on real transports, virtual time in the simulator — so the same analysis
+// applies to both.
+type Event struct {
+	Kind Kind `json:"kind"`
+	// Rank is the recording rank.
+	Rank int `json:"rank"`
+	// Peer is the destination (send), source (recv, syncwait) or -1.
+	Peer int `json:"peer"`
+	// Tag is the MPI tag of send/recv events.
+	Tag int `json:"tag,omitempty"`
+	// Bytes is the payload length (send: buffer sent; recv: receive buffer
+	// capacity, which every routine in this repository sizes exactly).
+	Bytes int `json:"bytes,omitempty"`
+	// Phase is the schedule phase the operation belongs to, or -1 when the
+	// algorithm did not mark phases.
+	Phase int `json:"phase"`
+	// Start and End bound the operation: post-to-completion for send/recv,
+	// entry-to-exit for barriers, the blocked interval for syncwaits.
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	// Err carries the operation's error text, if it failed.
+	Err string `json:"err,omitempty"`
+}
+
+// Recorder collects one rank's events, counters and histograms. It is safe
+// for concurrent use, but the design point is one recorder per rank so the
+// mutex is effectively uncontended.
+type Recorder struct {
+	rank int
+
+	mu     sync.Mutex
+	events []Event
+
+	counters Counters
+
+	// sendWait/recvWait/barrierWait/syncWait observe operation latencies in
+	// nanoseconds; sendBytes observes send payload sizes in bytes.
+	sendWait    Histogram
+	recvWait    Histogram
+	barrierWait Histogram
+	syncWait    Histogram
+	sendBytes   Histogram
+
+	bytesSent uint64
+	bytesRecv uint64
+}
+
+// NewRecorder builds an empty recorder for a rank.
+func NewRecorder(rank int) *Recorder { return &Recorder{rank: rank} }
+
+// Rank returns the rank the recorder belongs to.
+func (r *Recorder) Rank() int { return r.rank }
+
+// Counters returns the recorder's named counter set (nil-safe: a nil
+// recorder returns nil, and Counters methods accept a nil receiver).
+func (r *Recorder) Counters() *Counters {
+	if r == nil {
+		return nil
+	}
+	return &r.counters
+}
+
+// Events returns a copy of every recorded event, in recording order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// NumEvents returns the number of recorded events.
+func (r *Recorder) NumEvents() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// record appends an event and feeds the derived histograms and byte tallies.
+func (r *Recorder) record(e Event) {
+	if !Enabled || r == nil {
+		return
+	}
+	ns := uint64((e.End - e.Start) * 1e9)
+	r.mu.Lock()
+	if r.events == nil {
+		r.events = make([]Event, 0, 64)
+	}
+	r.events = append(r.events, e)
+	switch e.Kind {
+	case KindSend:
+		r.sendWait.Observe(ns)
+		r.sendBytes.Observe(uint64(e.Bytes))
+		r.bytesSent += uint64(e.Bytes)
+	case KindRecv:
+		r.recvWait.Observe(ns)
+		r.bytesRecv += uint64(e.Bytes)
+	case KindBarrier:
+		r.barrierWait.Observe(ns)
+	case KindSyncWait:
+		r.syncWait.Observe(ns)
+	}
+	r.mu.Unlock()
+}
+
+// SendWait returns a snapshot of the send-completion latency histogram
+// (nanoseconds).
+func (r *Recorder) SendWait() Histogram { return r.snap(&r.sendWait) }
+
+// RecvWait returns a snapshot of the receive-completion latency histogram
+// (nanoseconds).
+func (r *Recorder) RecvWait() Histogram { return r.snap(&r.recvWait) }
+
+// BarrierWait returns a snapshot of the barrier latency histogram
+// (nanoseconds).
+func (r *Recorder) BarrierWait() Histogram { return r.snap(&r.barrierWait) }
+
+// SyncWait returns a snapshot of the synchronization-stall histogram
+// (nanoseconds).
+func (r *Recorder) SyncWait() Histogram { return r.snap(&r.syncWait) }
+
+// SendBytes returns a snapshot of the send payload size histogram (bytes).
+func (r *Recorder) SendBytes() Histogram { return r.snap(&r.sendBytes) }
+
+// BytesSent and BytesRecv return the cumulative payload volumes.
+func (r *Recorder) BytesSent() uint64 { r.mu.Lock(); defer r.mu.Unlock(); return r.bytesSent }
+
+// BytesRecv returns the cumulative bytes posted for receiving.
+func (r *Recorder) BytesRecv() uint64 { r.mu.Lock(); defer r.mu.Unlock(); return r.bytesRecv }
+
+func (r *Recorder) snap(h *Histogram) Histogram {
+	if r == nil {
+		return Histogram{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return *h
+}
+
+// MergedEvents concatenates the events of several recorders, ordered by
+// start time (ties by rank) — the canonical form for JSONL traces and phase
+// analysis.
+func MergedEvents(recs ...*Recorder) []Event {
+	var out []Event
+	for _, r := range recs {
+		out = append(out, r.Events()...)
+	}
+	sortEvents(out)
+	return out
+}
+
+// Marker is implemented by instrumented communicators: algorithms that know
+// their schedule structure (alltoall.Scheduled) mark phase boundaries and
+// synchronization stalls through it, turning phase drift into data. Times
+// are Comm.Now() seconds.
+type Marker interface {
+	// MarkPhase records that the rank entered the given schedule phase;
+	// subsequent send/recv events are attributed to it.
+	MarkPhase(phase int)
+	// MarkSyncWait records a blocked interval waiting for the pair-wise
+	// synchronization message from peer.
+	MarkSyncWait(peer int, start, end float64)
+}
+
+// MarkerFor returns the Marker behind a communicator, or nil when the comm
+// is not instrumented (or the layer is compiled out).
+func MarkerFor(c mpi.Comm) Marker {
+	m, _ := c.(Marker)
+	return m
+}
+
+// Instrument wraps a communicator so that every operation is recorded into
+// r. With a nil recorder — or when the package is built with -tags obsv_off
+// — the communicator is returned unchanged, so instrumentation has strictly
+// zero cost when unused. The wrapper preserves the optional mpi.TimedRequest
+// and mpi.Killer capabilities of the underlying transport.
+func Instrument(c mpi.Comm, r *Recorder) mpi.Comm {
+	if !Enabled || r == nil || c == nil {
+		return c
+	}
+	return &icomm{inner: c, rec: r, phase: -1}
+}
+
+// icomm is the instrumenting decorator.
+type icomm struct {
+	inner mpi.Comm
+	rec   *Recorder
+	// phase is the current schedule phase set through MarkPhase; a Comm is
+	// owned by one goroutine, so no lock is needed.
+	phase int
+	// chunk bump-allocates request wrappers 64 at a time: one heap object
+	// per 64 operations instead of one per operation keeps the wrapper's
+	// allocation and GC-scan cost off the per-message path. Outstanding
+	// *ireq pointers stay valid because a full chunk is abandoned (kept
+	// alive by those pointers), never grown in place.
+	chunk []ireq
+}
+
+// newReq wraps a request in the next slot of the current chunk.
+func (c *icomm) newReq(inner mpi.Request, ev Event) *ireq {
+	if len(c.chunk) == cap(c.chunk) {
+		c.chunk = make([]ireq, 0, 64)
+	}
+	c.chunk = append(c.chunk, ireq{inner: inner, c: c, ev: ev})
+	return &c.chunk[len(c.chunk)-1]
+}
+
+func (c *icomm) Rank() int    { return c.inner.Rank() }
+func (c *icomm) Size() int    { return c.inner.Size() }
+func (c *icomm) Now() float64 { return c.inner.Now() }
+
+// Kill passes through to the underlying transport (mpi.Killer).
+func (c *icomm) Kill() error {
+	if k, ok := c.inner.(mpi.Killer); ok {
+		return k.Kill()
+	}
+	return fmt.Errorf("obsv: transport cannot kill ranks")
+}
+
+// MarkPhase implements Marker.
+func (c *icomm) MarkPhase(phase int) {
+	now := c.inner.Now()
+	c.phase = phase
+	c.rec.record(Event{Kind: KindPhase, Rank: c.inner.Rank(), Peer: -1, Phase: phase, Start: now, End: now})
+}
+
+// MarkSyncWait implements Marker.
+func (c *icomm) MarkSyncWait(peer int, start, end float64) {
+	c.rec.record(Event{Kind: KindSyncWait, Rank: c.inner.Rank(), Peer: peer,
+		Phase: c.phase, Start: start, End: end})
+}
+
+func (c *icomm) Isend(buf []byte, dst, tag int) mpi.Request {
+	ev := Event{Kind: KindSend, Rank: c.inner.Rank(), Peer: dst, Tag: tag,
+		Bytes: len(buf), Phase: c.phase, Start: c.inner.Now()}
+	return c.newReq(c.inner.Isend(buf, dst, tag), ev)
+}
+
+func (c *icomm) Irecv(buf []byte, src, tag int) mpi.Request {
+	ev := Event{Kind: KindRecv, Rank: c.inner.Rank(), Peer: src, Tag: tag,
+		Bytes: len(buf), Phase: c.phase, Start: c.inner.Now()}
+	return c.newReq(c.inner.Irecv(buf, src, tag), ev)
+}
+
+func (c *icomm) Barrier() error {
+	start := c.inner.Now()
+	err := c.inner.Barrier()
+	ev := Event{Kind: KindBarrier, Rank: c.inner.Rank(), Peer: -1,
+		Phase: c.phase, Start: start, End: c.inner.Now()}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	c.rec.record(ev)
+	return err
+}
+
+// ireq records the operation when its wait completes. A request's Wait may
+// be called at most once (mpi.Request contract), so completion is recorded
+// exactly once per operation — no event loss, no duplication.
+type ireq struct {
+	inner mpi.Request
+	c     *icomm
+	ev    Event
+	done  bool
+}
+
+func (r *ireq) finish(err error) {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.ev.End = r.c.inner.Now()
+	if err != nil {
+		r.ev.Err = err.Error()
+	}
+	r.c.rec.record(r.ev)
+}
+
+func (r *ireq) Wait() error {
+	err := r.inner.Wait()
+	r.finish(err)
+	return err
+}
+
+// WaitTimeout bounds the wait when the underlying transport supports
+// deadlines, degrading to Wait otherwise (the mpi.WaitTimeout contract). A
+// timed-out operation is recorded with its timeout error: the event marks
+// when the rank gave up, not when (or whether) the transport finished.
+func (r *ireq) WaitTimeout(d time.Duration) error {
+	err := mpi.WaitTimeout(r.inner, d)
+	r.finish(err)
+	return err
+}

@@ -1,0 +1,113 @@
+package obsv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ControlSizeMax classifies events by payload size: messages of at most
+// this many bytes count as control traffic (the scheduled algorithm's
+// synchronization messages are 1 byte). trace.ControlSizeMax aliases this
+// constant so simulator flow records and recorded event traces classify
+// identically.
+const ControlSizeMax = 64
+
+// PhaseStat summarizes one schedule phase across every rank of a run, built
+// from the phase and syncwait markers alltoall.Scheduled emits plus the send
+// events attributed to the phase. Drift — the spread between the first and
+// last rank to enter a phase — is the quantity the paper's synchronization
+// scheme exists to bound: an unsynchronized schedule whose drift exceeds a
+// phase's duration has lost its contention-freedom.
+type PhaseStat struct {
+	// Phase is the schedule phase index.
+	Phase int `json:"phase"`
+	// FirstEnter and LastEnter are the earliest and latest times (seconds)
+	// any participating rank entered the phase.
+	FirstEnter float64 `json:"first_enter"`
+	LastEnter  float64 `json:"last_enter"`
+	// Drift is LastEnter - FirstEnter.
+	Drift float64 `json:"drift"`
+	// End is the completion time of the phase's last send.
+	End float64 `json:"end"`
+	// Ranks is the number of ranks that entered the phase (ranks with no
+	// sends in a phase never enter it).
+	Ranks int `json:"ranks"`
+	// Sends and Bytes count the phase's data movement; sends of at most
+	// ControlSizeMax bytes (synchronization messages) are excluded.
+	Sends int `json:"sends"`
+	Bytes int `json:"bytes"`
+	// SyncWaitSeconds is the total time ranks spent stalled on pair-wise
+	// synchronization messages before sending in this phase.
+	SyncWaitSeconds float64 `json:"sync_wait_seconds"`
+}
+
+// PhaseStats aggregates per-phase statistics from a merged event stream.
+// Events without phase attribution (Phase < 0) are ignored.
+func PhaseStats(events []Event) []PhaseStat {
+	byPhase := make(map[int]*PhaseStat)
+	get := func(p int) *PhaseStat {
+		st, ok := byPhase[p]
+		if !ok {
+			st = &PhaseStat{Phase: p, FirstEnter: -1}
+			byPhase[p] = st
+		}
+		return st
+	}
+	for _, e := range events {
+		if e.Phase < 0 {
+			continue
+		}
+		st := get(e.Phase)
+		switch e.Kind {
+		case KindPhase:
+			if st.FirstEnter < 0 || e.Start < st.FirstEnter {
+				st.FirstEnter = e.Start
+			}
+			if e.Start > st.LastEnter {
+				st.LastEnter = e.Start
+			}
+			st.Ranks++
+		case KindSend:
+			if e.Bytes <= ControlSizeMax {
+				break // sync message, not data movement
+			}
+			st.Sends++
+			st.Bytes += e.Bytes
+			if e.End > st.End {
+				st.End = e.End
+			}
+		case KindSyncWait:
+			st.SyncWaitSeconds += e.End - e.Start
+		}
+	}
+	out := make([]PhaseStat, 0, len(byPhase))
+	for _, st := range byPhase {
+		if st.FirstEnter < 0 {
+			st.FirstEnter = 0
+		}
+		st.Drift = st.LastEnter - st.FirstEnter
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Phase < out[j].Phase })
+	return out
+}
+
+// FormatPhaseStats renders a phase-drift table for terminal reports:
+// per-phase enter window, drift, and synchronization stall time. Reading
+// it: drift well below the phase duration means the synchronization scheme
+// is holding the phases apart; drift rivaling the duration means phases are
+// bleeding into each other and contention is back.
+func FormatPhaseStats(stats []PhaseStat) string {
+	if len(stats) == 0 {
+		return "(no phase data)\n"
+	}
+	var sb strings.Builder
+	sb.WriteString("phase  ranks  sends      bytes   enter(ms)    drift(ms)  syncwait(ms)\n")
+	for _, st := range stats {
+		fmt.Fprintf(&sb, "%5d  %5d  %5d  %9d  %10.3f  %11.3f  %12.3f\n",
+			st.Phase, st.Ranks, st.Sends, st.Bytes,
+			st.FirstEnter*1e3, st.Drift*1e3, st.SyncWaitSeconds*1e3)
+	}
+	return sb.String()
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"io"
+
+	"github.com/aapc-sched/aapcsched/internal/obsv"
+	"github.com/aapc-sched/aapcsched/internal/simnet"
+)
+
+// FromEvents converts a recorded obsv event stream into a Timeline, so runs
+// on real transports (mem, tcp) render with the same Gantt charts and stats
+// as simulator runs. Send events become data flows; syncwait markers become
+// 1-byte control flows from the awaited peer (classified as control by
+// ControlSizeMax, exactly like the simulator records the scheduled
+// algorithm's synchronization messages). Receive, barrier and phase events
+// carry no flow of their own and are skipped. meta.Ranks, when set, pins the
+// world size so idle ranks keep their rows.
+func FromEvents(meta obsv.Meta, events []obsv.Event) *Timeline {
+	records := make([]simnet.FlowRecord, 0, len(events))
+	for _, e := range events {
+		switch e.Kind {
+		case obsv.KindSend:
+			records = append(records, simnet.FlowRecord{
+				Src:        e.Rank,
+				Dst:        e.Peer,
+				Tag:        e.Tag,
+				Size:       e.Bytes,
+				MatchedAt:  e.Start,
+				StartedAt:  e.Start,
+				FinishedAt: e.End,
+			})
+		case obsv.KindSyncWait:
+			// The stall interval on the waiting rank stands in for the
+			// synchronization message's flight.
+			records = append(records, simnet.FlowRecord{
+				Src:        e.Peer,
+				Dst:        e.Rank,
+				Tag:        e.Tag,
+				Size:       1,
+				MatchedAt:  e.Start,
+				StartedAt:  e.Start,
+				FinishedAt: e.End,
+			})
+		}
+	}
+	return NewWithRanks(records, meta.Ranks)
+}
+
+// LoadJSONL reads an obsv JSONL event trace and builds its Timeline.
+func LoadJSONL(r io.Reader) (*Timeline, obsv.Meta, error) {
+	meta, events, err := obsv.ReadJSONL(r)
+	if err != nil {
+		return nil, meta, err
+	}
+	return FromEvents(meta, events), meta, nil
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/aapc-sched/aapcsched/internal/alltoall"
+	"github.com/aapc-sched/aapcsched/internal/harness"
+	"github.com/aapc-sched/aapcsched/internal/mpi"
+	"github.com/aapc-sched/aapcsched/internal/mpi/mem"
+	"github.com/aapc-sched/aapcsched/internal/obsv"
+	"github.com/aapc-sched/aapcsched/internal/simnet"
+	"github.com/aapc-sched/aapcsched/internal/topology"
+)
+
+func loadStar(t *testing.T, n int) *topology.Graph {
+	t.Helper()
+	g := topology.New()
+	sw := g.MustAddSwitch("sw")
+	for i := 0; i < n; i++ {
+		g.MustConnect(sw, g.MustAddMachine(string(rune('a'+i))))
+	}
+	return g.MustValidate()
+}
+
+// TestNewWithRanksIdleRank checks the satellite fix: a rank that never
+// communicates must still get a Gantt row and dilute the mean busy fraction.
+func TestNewWithRanksIdleRank(t *testing.T) {
+	// Only ranks 0 and 1 exchange; rank 2 is idle.
+	records := []simnet.FlowRecord{
+		{Src: 0, Dst: 1, Size: 1000, StartedAt: 0, FinishedAt: 1},
+		{Src: 1, Dst: 0, Size: 1000, StartedAt: 0, FinishedAt: 1},
+	}
+	inferred := New(records)
+	explicit := NewWithRanks(records, 3)
+	if got := strings.Count(inferred.Gantt(20), "rank"); got != 2 {
+		t.Errorf("inferred Gantt has %d rows, want 2", got)
+	}
+	if got := strings.Count(explicit.Gantt(20), "rank"); got != 3 {
+		t.Errorf("explicit Gantt has %d rows, want 3 (idle rank dropped)", got)
+	}
+	if bi, be := inferred.Stats().MeanSenderBusy, explicit.Stats().MeanSenderBusy; be >= bi {
+		t.Errorf("idle rank must lower the mean busy fraction: inferred %g, explicit %g", bi, be)
+	}
+	// A too-small explicit count must not drop flows.
+	if tl := NewWithRanks(records, 1); tl.ranks != 2 {
+		t.Errorf("undersized rank count: got %d ranks, want inferred 2", tl.ranks)
+	}
+}
+
+// TestJSONLTimelineRoundTrip records an instrumented scheduled all-to-all,
+// writes the JSONL trace, loads it back, and demands the identical Timeline:
+// record -> write -> load must lose nothing the timeline depends on.
+func TestJSONLTimelineRoundTrip(t *testing.T) {
+	const msize = 1024
+	g := loadStar(t, 4)
+	sc, err := harness.CompileRoutine(g, alltoall.PairwiseSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := sc.NumRanks()
+	var mu sync.Mutex
+	recs := make([]*obsv.Recorder, n)
+	err = mem.Run(n, func(c mpi.Comm) error {
+		rec := obsv.NewRecorder(c.Rank())
+		mu.Lock()
+		recs[c.Rank()] = rec
+		mu.Unlock()
+		return sc.Fn()(obsv.Instrument(c, rec), alltoall.NewShared(msize), msize)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := obsv.Meta{Version: 1, Ranks: n, Transport: "mem", Name: "ours", Msize: msize}
+	direct := FromEvents(meta, obsv.MergedEvents(recs...))
+
+	var buf bytes.Buffer
+	if err := obsv.WriteRecorders(&buf, meta, recs...); err != nil {
+		t.Fatal(err)
+	}
+	loaded, gotMeta, err := LoadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Errorf("meta round trip: got %+v, want %+v", gotMeta, meta)
+	}
+	ds, ls := direct.Stats(), loaded.Stats()
+	if ds != ls {
+		t.Errorf("timeline stats diverge after round trip:\ndirect %+v\nloaded %+v", ds, ls)
+	}
+	if direct.NumFlows() != loaded.NumFlows() || direct.Duration() != loaded.Duration() {
+		t.Errorf("flows/duration diverge: %d/%g vs %d/%g",
+			direct.NumFlows(), direct.Duration(), loaded.NumFlows(), loaded.Duration())
+	}
+	if dg, lg := direct.Gantt(60), loaded.Gantt(60); dg != lg {
+		t.Errorf("Gantt diverges after round trip:\n%s\nvs\n%s", dg, lg)
+	}
+	// Sanity on content: the schedule's data flows are all there.
+	if ds.DataFlows != n*(n-1) {
+		t.Errorf("round trip has %d data flows, want %d", ds.DataFlows, n*(n-1))
+	}
+	if ds.ControlFlows == 0 {
+		t.Error("expected sync-wait control flows in the timeline")
+	}
+}

@@ -10,13 +10,15 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/aapc-sched/aapcsched/internal/obsv"
 	"github.com/aapc-sched/aapcsched/internal/simnet"
 )
 
 // ControlSizeMax classifies flows: messages of at most this many bytes are
 // counted as control traffic (the scheduled algorithm's synchronization
-// messages are 1 byte).
-const ControlSizeMax = 64
+// messages are 1 byte). It aliases obsv.ControlSizeMax so simulator flow
+// records and recorded obsv event traces share one classification.
+const ControlSizeMax = obsv.ControlSizeMax
 
 // Timeline is an analyzed set of flow records.
 type Timeline struct {
@@ -26,8 +28,23 @@ type Timeline struct {
 }
 
 // New builds a timeline from the flow records of a finished simulation run.
+// The rank count is inferred from the records, so a rank that never sent or
+// received anything is invisible; when the true world size is known, use
+// NewWithRanks so idle ranks keep their Gantt rows.
 func New(records []simnet.FlowRecord) *Timeline {
+	return NewWithRanks(records, 0)
+}
+
+// NewWithRanks builds a timeline with an explicit world size. ranks <= 0
+// falls back to inferring the count from the records. An explicit count
+// larger than any rank seen in the records adds idle rows (and lowers the
+// mean busy fraction accordingly); a count smaller than the records imply
+// is ignored in favor of the inferred one — flows never get dropped.
+func NewWithRanks(records []simnet.FlowRecord, ranks int) *Timeline {
 	tl := &Timeline{records: append([]simnet.FlowRecord(nil), records...)}
+	if ranks > 0 {
+		tl.ranks = ranks
+	}
 	for _, r := range tl.records {
 		if r.Src+1 > tl.ranks {
 			tl.ranks = r.Src + 1
