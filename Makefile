@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build build-obsv-off test race bench microbench fuzz
+.PHONY: check vet build build-obsv-off test race bench bench-sim microbench fuzz
 
 # check is the one-command gate: static analysis, full build (with and
 # without the observability layer), and the test suite under the race
@@ -30,6 +30,12 @@ race:
 bench:
 	$(GO) run ./cmd/aapcbench -topo fig1 -json .
 	$(GO) run ./cmd/aapcbench -topo b -json .
+
+# bench-sim measures raw simulator-engine throughput (events/s, allocs) on
+# jittered 32/128-rank and windowed 512-rank AAPC runs; committed reference
+# numbers live in BENCH_sim.json.
+bench-sim:
+	$(GO) test -bench=BenchmarkSimAAPC -benchmem -benchtime=1x -run=^$$ ./internal/simnet/
 
 # microbench runs the go-test benchmarks (paper tables/figures, transport
 # and instrumentation costs).

@@ -12,7 +12,9 @@
 //
 //	aapcbench [-topo a|b|c|fig1|all] [-file cluster.topo] [-msizes 8K,64K]
 //	          [-bw Mbps] [-alpha seconds] [-mineff f] [-jitter f]
+//	          [-parallel n] [-engine fast|reference]
 //	          [-ablation] [-plot] [-trace] [-json dir] [-render trace.jsonl]
+//	          [-cpuprofile file] [-memprofile file]
 package main
 
 import (
@@ -22,6 +24,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -53,6 +57,10 @@ type options struct {
 	iters    int
 	jsonDir  string
 	render   string
+	parallel int
+	engine   string
+	cpuProf  string
+	memProf  string
 }
 
 // printTrace renders the sender timeline of the generated routine.
@@ -118,6 +126,10 @@ func main() {
 	flag.IntVar(&o.iters, "iters", 1, "back-to-back invocations per cell, reporting the mean (the paper uses 10)")
 	flag.StringVar(&o.jsonDir, "json", "", "write a machine-readable BENCH_<name>.json report per topology into this directory")
 	flag.StringVar(&o.render, "render", "", "render an obsv JSONL event trace file and exit")
+	flag.IntVar(&o.parallel, "parallel", runtime.GOMAXPROCS(0), "measure up to n (algorithm, msize) cells concurrently; 1 = serial")
+	flag.StringVar(&o.engine, "engine", simnet.RateEngineFast, "max-min rate engine: fast (aggregated) or reference (dense oracle)")
+	flag.StringVar(&o.cpuProf, "cpuprofile", "", "write a CPU profile of the run to this file")
+	flag.StringVar(&o.memProf, "memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "aapcbench:", err)
@@ -128,6 +140,30 @@ func main() {
 func run(o options) error {
 	if o.render != "" {
 		return renderTrace(o.render)
+	}
+	if o.cpuProf != "" {
+		f, err := os.Create(o.cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if o.memProf != "" {
+		f, err := os.Create(o.memProf)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "aapcbench: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 	sizes, err := parseMsizes(o.msizes)
 	if err != nil {
@@ -140,6 +176,7 @@ func run(o options) error {
 		JitterFrac:     o.jitter,
 		JitterSeed:     1,
 		ControlLatency: o.control,
+		RateEngine:     o.engine,
 	}
 	type target struct {
 		name  string // report label
@@ -192,6 +229,7 @@ func run(o options) error {
 			Algorithms: algs,
 			Net:        net,
 			Iterations: o.iters,
+			Parallel:   o.parallel,
 		}
 		rep, err := exp.Run()
 		if err != nil {

@@ -2,6 +2,9 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"github.com/aapc-sched/aapcsched/internal/alltoall"
 	"github.com/aapc-sched/aapcsched/internal/mpi"
@@ -116,6 +119,11 @@ type Experiment struct {
 	// measurement procedure (10 iterations per execution). Consecutive
 	// invocations may pipeline, exactly as on the real cluster. Default 1.
 	Iterations int
+	// Parallel caps how many (algorithm, msize) cells are simulated
+	// concurrently. Each cell runs on its own World, and every World is
+	// deterministic in isolation, so the report is identical for any
+	// setting. 0 uses GOMAXPROCS; 1 restores fully serial measurement.
+	Parallel int
 }
 
 // PaperMsizes are the message sizes of the paper's tables: 8 KB to 256 KB.
@@ -142,12 +150,21 @@ type Report struct {
 // Simulation is deterministic, so a single invocation per cell is exact —
 // where the paper averages 10 iterations over 3 executions to tame real-
 // machine noise, the simulator has none.
+//
+// Cells are independent simulations, so they fan out over a worker pool of
+// Parallel goroutines. Routine generation stays serial (it is cheap and its
+// errors should surface deterministically), and rows are assembled in the
+// same (algorithm, msize) order as serial measurement, so reports are
+// byte-identical for every Parallel setting.
 func (e *Experiment) Run() (*Report, error) {
 	if len(e.Msizes) == 0 {
 		e.Msizes = PaperMsizes
 	}
 	if len(e.Algorithms) == 0 {
 		e.Algorithms = []Algorithm{LAM(), MPICHAlg(), Ours(alltoall.PairwiseSync)}
+	}
+	if err := e.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
 	}
 	net := e.Net
 	net.Graph = e.Graph
@@ -163,25 +180,72 @@ func (e *Experiment) Run() (*Report, error) {
 		PeakMbps: e.Graph.PeakAggregateThroughput(bw) * 8 / 1e6,
 		Msizes:   e.Msizes,
 	}
-	for _, alg := range e.Algorithms {
+	fns := make([]alltoall.Func, len(e.Algorithms))
+	for i, alg := range e.Algorithms {
 		rep.Algorithms = append(rep.Algorithms, alg.Name)
 		fn, err := alg.Make(e.Graph)
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s: %w", alg.Name, err)
 		}
+		fns[i] = fn
+	}
+	if m >= 2 {
+		// Populate the graph's lazy rooted-view cache before worlds are
+		// built concurrently; afterwards workers only read it.
+		e.Graph.PathBetweenRanks(0, 1)
+	}
+	type cell struct {
+		alg   int
+		msize int
+	}
+	jobs := make([]cell, 0, len(e.Algorithms)*len(e.Msizes))
+	for ai := range e.Algorithms {
 		for _, msize := range e.Msizes {
-			secs, err := MeasureIterations(net, fn, msize, e.Iterations)
-			if err != nil {
-				return nil, fmt.Errorf("harness: %s msize %d: %w", alg.Name, msize, err)
-			}
-			rep.Rows = append(rep.Rows, Result{
-				Algorithm:      alg.Name,
-				Msize:          msize,
-				Seconds:        secs,
-				ThroughputMbps: float64(m) * float64(m-1) * float64(msize) * 8 / secs / 1e6,
-			})
+			jobs = append(jobs, cell{alg: ai, msize: msize})
 		}
 	}
+	workers := e.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	rows := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(atomic.AddInt64(&next, 1)) - 1
+				if j >= len(jobs) {
+					return
+				}
+				alg, msize := e.Algorithms[jobs[j].alg], jobs[j].msize
+				secs, err := MeasureIterations(net, fns[jobs[j].alg], msize, e.Iterations)
+				if err != nil {
+					errs[j] = fmt.Errorf("harness: %s msize %d: %w", alg.Name, msize, err)
+					continue
+				}
+				rows[j] = Result{
+					Algorithm:      alg.Name,
+					Msize:          msize,
+					Seconds:        secs,
+					ThroughputMbps: float64(m) * float64(m-1) * float64(msize) * 8 / secs / 1e6,
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err // first failure in serial cell order
+		}
+	}
+	rep.Rows = rows
 	return rep, nil
 }
 

@@ -1,0 +1,7 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the race detector is compiled in; the scale
+// test skips under it (5-20x slowdown on a CPU-bound 512-rank simulation).
+const raceEnabled = true

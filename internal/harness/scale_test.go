@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/aapc-sched/aapcsched/internal/alltoall"
+	"github.com/aapc-sched/aapcsched/internal/simnet"
+	"github.com/aapc-sched/aapcsched/internal/topology"
+)
+
+// chainCluster builds machines spread over a chain of switches, 16 per
+// switch — the stress shape of the simulator benchmarks.
+func chainCluster(machines int) *topology.Graph {
+	g := topology.New()
+	nsw := (machines + 15) / 16
+	sw := make([]int, nsw)
+	for i := range sw {
+		sw[i] = g.MustAddSwitch(fmt.Sprintf("s%d", i))
+		if i > 0 {
+			g.MustConnect(sw[i-1], sw[i])
+		}
+	}
+	for i := 0; i < machines; i++ {
+		m := g.MustAddMachine(fmt.Sprintf("n%d", i))
+		g.MustConnect(sw[i/16], m)
+	}
+	return g.MustValidate()
+}
+
+// TestHarness512RankCell pins the simulator's scale contract: one 512-rank
+// AAPC harness cell — the windowed exchange pattern production all-to-alls
+// use at scale, 261k messages — must complete well under a minute. (The
+// post-all LAM pattern at 512 ranks is the deliberate worst case: 261k
+// *concurrent* flows whose max-min rate cascade re-solves per completion
+// wave; it is simulable but takes many minutes, which is exactly why the
+// windowed pattern exists.)
+func TestHarness512RankCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("512-rank cell takes tens of seconds; skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("512-rank cell under the race detector takes minutes; wall-clock bound is meaningless there")
+	}
+	g := chainCluster(512)
+	net := simnet.Config{Graph: g}
+	start := time.Now()
+	secs, err := Measure(net, alltoall.Windowed(32), 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	t.Logf("512-rank windowed(32) cell: wall %v, virtual %.3fs", wall, secs)
+	if secs <= 0 {
+		t.Fatalf("nonsensical virtual time %v", secs)
+	}
+	if wall > time.Minute {
+		t.Errorf("512-rank cell took %v, want < 1m", wall)
+	}
+}

@@ -1,0 +1,82 @@
+package simnet
+
+// calEvent is one scheduled occurrence in the event calendar: either a flow
+// activation (f != nil, fires when the startup latency elapses) or a timer
+// completing an operation at a fixed virtual time (op != nil, barriers).
+// Flow completions are not stored per flow — their times shift on every rate
+// change, so the engine instead keeps a single completion horizon
+// (engine.nextFinish) refreshed whenever rates are reassigned.
+type calEvent struct {
+	at  float64
+	seq int64 // insertion order; ties break deterministically
+	f   *flow
+	op  *simOp
+}
+
+// calendar is an indexed binary min-heap over (at, seq). Both event kinds
+// have immutable fire times, so no decrease-key is needed; the seq index
+// makes pop order — and therefore the whole simulation — deterministic when
+// events coincide.
+type calendar struct {
+	h   []calEvent
+	seq int64
+}
+
+func (c *calendar) len() int      { return len(c.h) }
+func (c *calendar) empty() bool   { return len(c.h) == 0 }
+func (c *calendar) top() calEvent { return c.h[0] }
+
+func (c *calendar) less(i, j int) bool {
+	if c.h[i].at != c.h[j].at {
+		return c.h[i].at < c.h[j].at
+	}
+	return c.h[i].seq < c.h[j].seq
+}
+
+func (c *calendar) push(at float64, f *flow, op *simOp) {
+	c.seq++
+	c.h = append(c.h, calEvent{at: at, seq: c.seq, f: f, op: op})
+	c.up(len(c.h) - 1)
+}
+
+func (c *calendar) pop() calEvent {
+	ev := c.h[0]
+	last := len(c.h) - 1
+	c.h[0] = c.h[last]
+	c.h[last] = calEvent{} // release pointers for GC
+	c.h = c.h[:last]
+	if last > 0 {
+		c.down(0)
+	}
+	return ev
+}
+
+func (c *calendar) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !c.less(i, parent) {
+			return
+		}
+		c.h[i], c.h[parent] = c.h[parent], c.h[i]
+		i = parent
+	}
+}
+
+func (c *calendar) down(i int) {
+	n := len(c.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && c.less(l, min) {
+			min = l
+		}
+		if r < n && c.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		c.h[i], c.h[min] = c.h[min], c.h[i]
+		i = min
+	}
+}

@@ -1,0 +1,220 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/aapc-sched/aapcsched/internal/topology"
+)
+
+// ratesTestEngine builds a bare engine (no running ranks) for solver-only
+// tests.
+func ratesTestEngine(t testing.TB, g *topology.Graph, rateEngine string) *engine {
+	t.Helper()
+	base := Config{Graph: g, RateEngine: rateEngine}
+	cfg, err := base.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newEngine(cfg)
+}
+
+// injectFlow activates a synthetic flow directly in the engine, bypassing
+// the message-matching machinery, exactly as advance does on an activation
+// event.
+func injectFlow(e *engine, src, dst int, size float64) {
+	f := &flow{
+		id:     e.flowSeq,
+		src:    src,
+		dst:    dst,
+		path:   e.pathOf[src][dst],
+		size:   size,
+		remain: size,
+		active: true,
+	}
+	e.flowSeq++
+	f.actIdx = len(e.act)
+	e.act = append(e.act, f)
+	if !e.dense {
+		e.attachFlow(f)
+	}
+}
+
+// popFlow deactivates the most recently injected flow, as a completion does.
+func popFlow(e *engine) {
+	last := len(e.act) - 1
+	f := e.act[last]
+	e.act[last] = nil
+	e.act = e.act[:last]
+	if !e.dense {
+		e.detachFlow(f)
+	}
+}
+
+// within1e9 is the equivalence bound: 1e-9 relative error (absolute below
+// one byte/second).
+func within1e9(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// randomFlowSet draws a random multiset of (src, dst) demands on n ranks;
+// duplicates are frequent by construction, exercising aggregation weights.
+func randomFlowSet(rng *rand.Rand, n int) [][2]int {
+	nf := 1 + rng.Intn(4*n)
+	set := make([][2]int, 0, nf)
+	for i := 0; i < nf; i++ {
+		src := rng.Intn(n)
+		dst := rng.Intn(n)
+		if rng.Intn(3) == 0 && len(set) > 0 {
+			// Reuse an existing pair to force aggregate weights > 1.
+			set = append(set, set[rng.Intn(len(set))])
+			continue
+		}
+		set = append(set, [2]int{src, dst})
+	}
+	return set
+}
+
+// TestRateEnginesAgreeQuick is the equivalence property test: on random
+// trees with random flow multisets, the aggregated solver must reproduce
+// the dense reference solver's max-min rates within 1e-9 relative error
+// (they agree bit-for-bit in practice; the epsilon only covers degenerate
+// share tie-breaks). Each quick iteration also removes a random suffix of
+// flows and re-solves, exercising the incremental detach path.
+func TestRateEnginesAgreeQuick(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := topology.RandomCluster(topology.RandomOptions{
+			Switches: 1 + rng.Intn(6),
+			Machines: 2 + rng.Intn(24),
+			Rand:     rng,
+		})
+		n := g.NumMachines()
+		fast := ratesTestEngine(t, g, RateEngineFast)
+		dense := ratesTestEngine(t, g, RateEngineReference)
+		for round := 0; round < 3; round++ {
+			for _, p := range randomFlowSet(rng, n) {
+				size := float64(1+rng.Intn(1<<20)) * (1 + rng.Float64())
+				injectFlow(fast, p[0], p[1], size)
+				injectFlow(dense, p[0], p[1], size)
+			}
+			fast.assignRates()
+			dense.assignRates()
+			if len(fast.act) != len(dense.act) {
+				t.Fatalf("seed %d: flow count mismatch", seed)
+			}
+			for i, ff := range fast.act {
+				df := dense.act[i]
+				if !within1e9(ff.rate, df.rate) {
+					t.Logf("seed %d round %d: flow %d (%d->%d) fast rate %g, dense rate %g",
+						seed, round, i, ff.src, ff.dst, ff.rate, df.rate)
+					return false
+				}
+			}
+			for eid := range fast.linkRate {
+				fr, dr := fast.linkRate[eid], dense.linkRate[eid]
+				if !within1e9(fr, dr) {
+					t.Logf("seed %d round %d: edge %d fast link rate %g, dense %g",
+						seed, round, eid, fr, dr)
+					return false
+				}
+			}
+			// Complete a random suffix before the next wave of demands.
+			drop := rng.Intn(len(fast.act) + 1)
+			for i := 0; i < drop; i++ {
+				popFlow(fast)
+				popFlow(dense)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRateEngineEndToEndIdentical runs full jittered AAPC programs under
+// both solvers and requires byte-identical results: same Elapsed, same
+// FlowTrace (ids, times, rates). This is the regression gate that keeps the
+// fast engine a drop-in replacement rather than an approximation.
+func TestRateEngineEndToEndIdentical(t *testing.T) {
+	g := benchCluster(24)
+	for _, jitter := range []float64{0, 0.3} {
+		t.Run(fmt.Sprintf("jitter=%v", jitter), func(t *testing.T) {
+			cfg := benchConfig(g, jitter)
+			run := func(engine string) (float64, []FlowRecord) {
+				c := cfg
+				c.RateEngine = engine
+				w, err := NewWorld(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Run(postAllAAPC(4 << 10)); err != nil {
+					t.Fatal(err)
+				}
+				return w.Elapsed(), w.FlowTrace()
+			}
+			fastEl, fastTr := run(RateEngineFast)
+			refEl, refTr := run(RateEngineReference)
+			if fastEl != refEl {
+				t.Errorf("Elapsed: fast %v, reference %v", fastEl, refEl)
+			}
+			if len(fastTr) != len(refTr) {
+				t.Fatalf("trace length: fast %d, reference %d", len(fastTr), len(refTr))
+			}
+			for i := range fastTr {
+				if fastTr[i] != refTr[i] {
+					t.Fatalf("flow record %d differs:\nfast:      %+v\nreference: %+v",
+						i, fastTr[i], refTr[i])
+				}
+			}
+		})
+	}
+}
+
+// TestAssignRatesNoSteadyStateAllocs pins the zero-allocation claim for both
+// solvers: once scratch buffers are warm and the aggregate pool is
+// populated, re-solving (including flow churn through attach/detach on the
+// fast path) must not allocate.
+func TestAssignRatesNoSteadyStateAllocs(t *testing.T) {
+	g := benchCluster(32)
+	for _, engine := range []string{RateEngineFast, RateEngineReference} {
+		t.Run(engine, func(t *testing.T) {
+			e := ratesTestEngine(t, g, engine)
+			rng := rand.New(rand.NewSource(7))
+			for _, p := range randomFlowSet(rng, 32) {
+				injectFlow(e, p[0], p[1], 1<<16)
+			}
+			e.assignRates() // warm scratch
+			popFlow(e)      // and the aggregate pool
+			e.assignRates()
+			// One churn cycle with a reusable flow object: activate, solve,
+			// complete, solve. The simulator reuses nothing else per event.
+			f := &flow{
+				id: e.flowSeq, src: 3, dst: 17, path: e.pathOf[3][17],
+				size: 1 << 16, remain: 1 << 16, active: true,
+			}
+			churn := func() {
+				f.actIdx = len(e.act)
+				e.act = append(e.act, f)
+				if !e.dense {
+					e.attachFlow(f)
+				}
+				e.assignRates()
+				e.act = e.act[:len(e.act)-1]
+				if !e.dense {
+					e.detachFlow(f)
+				}
+				e.assignRates()
+			}
+			churn() // populate the (3,17) aggregate pool slot
+			allocs := testing.AllocsPerRun(20, churn)
+			if allocs > 0 {
+				t.Errorf("%s engine: %v allocs per steady-state churn cycle, want 0", engine, allocs)
+			}
+		})
+	}
+}

@@ -20,6 +20,17 @@
 // Virtual time advances only when every rank is blocked (conservative
 // synchronous simulation), so results are deterministic regardless of
 // goroutine scheduling.
+//
+// The engine is built to stay tractable far past the paper's 32 nodes:
+// timers and flow activations live in an indexed min-heap event calendar,
+// flow completions are found through a completion horizon recomputed only
+// when rates change, per-link byte accounting integrates aggregate link
+// rates instead of per-flow increments, and blocked ranks park on per-rank
+// wait channels so an event wakes only the ranks it completes (no broadcast
+// storms). Max-min rates come from one of two interchangeable solvers
+// selected by Config.RateEngine: the default aggregated incidence-list
+// solver (zero allocations at steady state) or the original dense solver,
+// kept as a reference oracle.
 package simnet
 
 import (
@@ -30,6 +41,18 @@ import (
 
 	"github.com/aapc-sched/aapcsched/internal/mpi"
 	"github.com/aapc-sched/aapcsched/internal/topology"
+)
+
+// Rate-engine selectors for Config.RateEngine.
+const (
+	// RateEngineFast is the aggregated incidence-list max-min solver (the
+	// default): flows sharing a path collapse into one aggregate for the
+	// progressive-filling loop and all solver state lives in reusable
+	// scratch buffers.
+	RateEngineFast = "fast"
+	// RateEngineReference is the original dense progressive-filling solver,
+	// kept as the oracle the fast engine is property-tested against.
+	RateEngineReference = "reference"
 )
 
 // Config describes the simulated cluster and its cost model.
@@ -68,6 +91,11 @@ type Config struct {
 	// JitterSeed selects the jitter pattern; equal seeds give identical
 	// runs.
 	JitterSeed uint64
+	// RateEngine selects the max-min solver: RateEngineFast (default when
+	// empty) or RateEngineReference. Both produce the same rates; the
+	// reference solver exists as the oracle for equivalence tests and for
+	// bisecting suspected solver regressions.
+	RateEngine string
 }
 
 // Defaults for the zero fields of Config, chosen to mimic the paper's
@@ -116,6 +144,14 @@ func (cfg *Config) withDefaults() (Config, error) {
 	}
 	if out.ControlLatency < 0 {
 		return out, fmt.Errorf("simnet: negative ControlLatency %v", out.ControlLatency)
+	}
+	switch out.RateEngine {
+	case "":
+		out.RateEngine = RateEngineFast
+	case RateEngineFast, RateEngineReference:
+	default:
+		return out, fmt.Errorf("simnet: unknown RateEngine %q (want %q or %q)",
+			out.RateEngine, RateEngineFast, RateEngineReference)
 	}
 	return out, nil
 }
@@ -238,6 +274,15 @@ func (w *World) FlowCount() int {
 	return w.eng.flowSeq
 }
 
+// Events returns the number of discrete events the engine has processed
+// (virtual-time advances). Together with wall-clock time it gives the
+// simulator's events/second throughput.
+func (w *World) Events() int64 {
+	w.eng.mu.Lock()
+	defer w.eng.mu.Unlock()
+	return w.eng.events
+}
+
 // ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
@@ -249,7 +294,8 @@ type simOp struct {
 	buf      []byte
 	done     bool
 	err      error
-	nwaiters int // ranks currently blocked on this op
+	nwaiters int   // ranks currently blocked on this op
+	waiters  []int // ranks to wake when the op completes
 }
 
 // flow is a matched message in transit.
@@ -257,6 +303,12 @@ type flow struct {
 	id       int
 	src, dst int
 	tag      int
+	// matchIdx is the per-(src,dst,tag) match sequence number. Unlike id
+	// (global creation order, which depends on how rank goroutines happen to
+	// interleave when several pairs match at the same virtual instant), it is
+	// deterministic: the send queue for a key is filled only by rank src in
+	// program order, so the k-th match of a key is always the same message.
+	matchIdx uint64
 	path     []int // directed edge IDs; empty for self-messages
 	matched  float64
 	size     float64
@@ -264,6 +316,8 @@ type flow struct {
 	rate     float64
 	startAt  float64 // virtual time at which bytes start moving
 	active   bool
+	actIdx   int // position in engine.act while active
+	agg      *aggregate
 	sendOp   *simOp
 	recvOp   *simOp
 	sendBuf  []byte
@@ -271,24 +325,18 @@ type flow struct {
 	overflow bool // receiver buffer too small
 }
 
-// timer fires an op completion at a fixed virtual time (barriers).
-type timer struct {
-	at float64
-	op *simOp
-}
-
 type engine struct {
-	cfg Config
-	n   int
-	idx *topology.EdgeIndex
+	cfg   Config
+	n     int
+	dense bool // use the reference rate engine
+	idx   *topology.EdgeIndex
 	// edgeCap[i] is the capacity of directed edge i in bytes/second
 	// (LinkBandwidth times the link's speed multiplier).
 	edgeCap []float64
 	// pathOf caches directed-edge paths between machine ranks.
 	pathOf [][][]int
 
-	mu   sync.Mutex
-	cond *sync.Cond
+	mu sync.Mutex
 
 	clock   float64
 	alive   int // ranks that have not finished their program
@@ -297,40 +345,81 @@ type engine struct {
 	sends map[matchKey][]*simOp
 	recvs map[matchKey][]*simOp
 
-	flows   []*flow // pending + active flows
+	// act holds the flows currently moving bytes (activation order); flows
+	// whose startup latency has not elapsed live only in the calendar.
+	act     []*flow
+	cal     calendar
 	flowSeq int
 	trace   []FlowRecord
-	// seq counts matches per (src, dst, tag) for jitter hashing.
+	// seq counts matches per (src, dst, tag); it feeds jitter hashing and
+	// the deterministic completion ordering (flow.matchIdx).
 	seq        map[matchKey]uint64
-	timers     []timer
 	ratesDirty bool
 	deadlocked bool
 
 	barrierOp      *simOp
 	barrierWaiting int
 
+	// Per-rank parking: a blocked rank waits on its own 1-buffered channel
+	// and is woken only when one of its ops completes (or when it must take
+	// over advancing virtual time).
+	parkCh    []chan struct{}
+	isBlocked []bool
+	driving   bool
+
+	// linkRate[i] is the aggregate rate (bytes/second) currently crossing
+	// directed edge i; linkBytes integrates it over rate intervals.
 	linkBytes []float64
+	linkRate  []float64
+	events    int64
+
+	// effTab memoizes efficiency(n) = m + (1-m)/n.
+	effTab []float64
+
+	// completed is per-advance scratch for flows finishing at an event.
+	completed []*flow
+
+	// Fast-engine aggregate state (see rates_fast.go). linkCount[i] is the
+	// number of active flows crossing directed edge i, maintained
+	// incrementally by attachFlow/detachFlow; rateGen numbers
+	// assignRatesFast calls for the aggregate freeze marks.
+	aggByKey  map[int]*aggregate
+	aggs      []*aggregate
+	edgeAggs  [][]aggEntry
+	aggPool   []*aggregate
+	linkCount []int
+	rateGen   uint64
+	fs        fastScratch
+
+	// Reference-engine scratch (see rates_dense.go).
+	ds denseScratch
 }
 
 func newEngine(cfg Config) *engine {
 	g := cfg.Graph
 	n := g.NumMachines()
 	e := &engine{
-		cfg:       cfg,
-		n:         n,
-		idx:       g.NewEdgeIndex(),
-		alive:     n,
-		sends:     make(map[matchKey][]*simOp),
-		recvs:     make(map[matchKey][]*simOp),
-		seq:       make(map[matchKey]uint64),
-		linkBytes: nil,
+		cfg:   cfg,
+		n:     n,
+		dense: cfg.RateEngine == RateEngineReference,
+		idx:   g.NewEdgeIndex(),
+		alive: n,
+		sends: make(map[matchKey][]*simOp),
+		recvs: make(map[matchKey][]*simOp),
+		seq:   make(map[matchKey]uint64),
 	}
-	e.linkBytes = make([]float64, e.idx.Len())
-	e.edgeCap = make([]float64, e.idx.Len())
+	nEdges := e.idx.Len()
+	e.linkBytes = make([]float64, nEdges)
+	e.linkRate = make([]float64, nEdges)
+	e.edgeCap = make([]float64, nEdges)
 	for i := range e.edgeCap {
 		e.edgeCap[i] = cfg.LinkBandwidth * g.LinkSpeed(e.idx.Edge(i))
 	}
-	e.cond = sync.NewCond(&e.mu)
+	e.parkCh = make([]chan struct{}, n)
+	for i := range e.parkCh {
+		e.parkCh[i] = make(chan struct{}, 1)
+	}
+	e.isBlocked = make([]bool, n)
 	e.pathOf = make([][][]int, n)
 	for src := 0; src < n; src++ {
 		e.pathOf[src] = make([][]int, n)
@@ -340,6 +429,11 @@ func newEngine(cfg Config) *engine {
 			}
 		}
 	}
+	if !e.dense {
+		e.aggByKey = make(map[int]*aggregate)
+		e.edgeAggs = make([][]aggEntry, nEdges)
+		e.linkCount = make([]int, nEdges)
+	}
 	return e
 }
 
@@ -347,9 +441,33 @@ func newEngine(cfg Config) *engine {
 func (e *engine) finish() {
 	e.mu.Lock()
 	e.alive--
-	// Blocked ranks may now be the only ones left; wake one to advance.
-	e.cond.Broadcast()
+	// The finished rank may have been the only runnable one; if everyone
+	// left is blocked, summon one of them to advance virtual time.
+	if e.alive > 0 && e.blocked == e.alive && !e.driving {
+		e.summon()
+	}
 	e.mu.Unlock()
+}
+
+// wake delivers a wakeup token to a rank's park channel. The token is
+// buffered, so a wakeup sent before the rank parks is not lost; a duplicate
+// token only causes one harmless spurious wake. Caller holds e.mu.
+func (e *engine) wake(rank int) {
+	select {
+	case e.parkCh[rank] <- struct{}{}:
+	default:
+	}
+}
+
+// summon wakes one blocked rank so it can take over driving virtual time.
+// Caller holds e.mu.
+func (e *engine) summon() {
+	for r, b := range e.isBlocked {
+		if b {
+			e.wake(r)
+			return
+		}
+	}
 }
 
 // post registers an operation and matches it against the opposite queue.
@@ -385,9 +503,9 @@ func mix(x uint64) uint64 {
 	return x
 }
 
-// startup returns the (possibly jittered) startup latency for a message of
-// the given size.
-func (e *engine) startup(key matchKey, size int) float64 {
+// startup returns the (possibly jittered) startup latency for the n-th
+// message of the given size matched under key.
+func (e *engine) startup(key matchKey, size int, n uint64) float64 {
 	alpha := e.cfg.StartupLatency
 	if e.cfg.ControlLatency > 0 && size <= ControlSizeMax {
 		alpha = e.cfg.ControlLatency
@@ -395,28 +513,30 @@ func (e *engine) startup(key matchKey, size int) float64 {
 	if e.cfg.JitterFrac == 0 {
 		return alpha
 	}
-	n := e.seq[key]
-	e.seq[key] = n + 1
 	h := mix(e.cfg.JitterSeed ^ mix(uint64(key.src)<<42^uint64(key.dst)<<21^uint64(int64(key.tag))) ^ mix(n))
 	u := float64(h>>11) / float64(1<<53) // uniform in [0, 1)
 	return alpha * (1 + e.cfg.JitterFrac*u)
 }
 
-// startFlow creates the flow for a matched pair. Caller holds e.mu.
+// startFlow creates the flow for a matched pair and schedules its activation
+// in the event calendar. Caller holds e.mu.
 func (e *engine) startFlow(key matchKey, sendOp, recvOp *simOp) {
+	n := e.seq[key]
+	e.seq[key] = n + 1
 	f := &flow{
-		id:      e.flowSeq,
-		src:     key.src,
-		dst:     key.dst,
-		tag:     key.tag,
-		matched: e.clock,
-		size:    float64(len(sendOp.buf)),
-		remain:  float64(len(sendOp.buf)),
-		startAt: e.clock + e.startup(key, len(sendOp.buf)),
-		sendOp:  sendOp,
-		recvOp:  recvOp,
-		sendBuf: sendOp.buf,
-		recvBuf: recvOp.buf,
+		id:       e.flowSeq,
+		src:      key.src,
+		dst:      key.dst,
+		tag:      key.tag,
+		matchIdx: n,
+		matched:  e.clock,
+		size:     float64(len(sendOp.buf)),
+		remain:   float64(len(sendOp.buf)),
+		startAt:  e.clock + e.startup(key, len(sendOp.buf), n),
+		sendOp:   sendOp,
+		recvOp:   recvOp,
+		sendBuf:  sendOp.buf,
+		recvBuf:  recvOp.buf,
 	}
 	e.flowSeq++
 	if key.src != key.dst {
@@ -425,10 +545,11 @@ func (e *engine) startFlow(key matchKey, sendOp, recvOp *simOp) {
 	if len(recvOp.buf) < len(sendOp.buf) {
 		f.overflow = true
 	}
-	e.flows = append(e.flows, f)
+	e.cal.push(f.startAt, f, nil)
 }
 
-// completeOp finishes an op and releases its waiters. Caller holds e.mu.
+// completeOp finishes an op and wakes exactly the ranks blocked on it.
+// Caller holds e.mu.
 func (e *engine) completeOp(op *simOp, err error) {
 	if op.done {
 		return
@@ -437,28 +558,41 @@ func (e *engine) completeOp(op *simOp, err error) {
 	op.err = err
 	e.blocked -= op.nwaiters
 	op.nwaiters = 0
+	for _, r := range op.waiters {
+		e.wake(r)
+	}
+	op.waiters = op.waiters[:0]
 }
 
-// block waits until op completes, advancing virtual time when this rank is
-// the last one still runnable.
-func (e *engine) block(op *simOp) error {
+// block waits until op completes. The last runnable rank becomes the driver
+// and advances virtual time; everyone else parks on its per-rank channel and
+// is woken only when one of its ops completes (or to take over driving).
+func (e *engine) block(op *simOp, rank int) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if op.done {
 		return op.err
 	}
 	op.nwaiters++
+	op.waiters = append(op.waiters, rank)
 	e.blocked++
+	e.isBlocked[rank] = true
 	for !op.done {
-		if e.blocked == e.alive {
-			if !e.advance() {
-				e.failAll()
+		if e.blocked == e.alive && !e.driving {
+			e.driving = true
+			for !op.done && e.blocked == e.alive {
+				if !e.advance() {
+					e.failAll()
+				}
 			}
-			e.cond.Broadcast()
+			e.driving = false
 			continue
 		}
-		e.cond.Wait()
+		e.mu.Unlock()
+		<-e.parkCh[rank]
+		e.mu.Lock()
 	}
+	e.isBlocked[rank] = false
 	return op.err
 }
 
@@ -479,9 +613,17 @@ func (e *engine) failAll() {
 			e.completeOp(op, err)
 		}
 	}
-	for _, f := range e.flows {
+	for _, f := range e.act {
 		e.completeOp(f.sendOp, err)
 		e.completeOp(f.recvOp, err)
+	}
+	for _, ev := range e.cal.h {
+		if ev.f != nil {
+			e.completeOp(ev.f.sendOp, err)
+			e.completeOp(ev.f.recvOp, err)
+		} else if ev.op != nil {
+			e.completeOp(ev.op, err)
+		}
 	}
 	if e.barrierOp != nil {
 		e.completeOp(e.barrierOp, err)
@@ -493,51 +635,46 @@ const timeEps = 1e-12
 
 // advance moves virtual time to the next event and processes it. It returns
 // false when no event is pending (deadlock). Caller holds e.mu.
+//
+// The next event time is the minimum of the completion horizon (earliest
+// finish over active flows at current rates) and the head of the event
+// calendar (pending activations and timers). Per-link byte accounting uses
+// the aggregate link rates maintained by the rate engines, so moving bytes
+// costs O(edges) + O(active flows) instead of O(active flows × path).
 func (e *engine) advance() bool {
 	if e.ratesDirty {
 		e.assignRates()
 		e.ratesDirty = false
 	}
 	next := math.Inf(1)
-	for _, f := range e.flows {
-		if f.active {
-			if f.rate > 0 {
-				t := e.clock + f.remain/f.rate
-				if t < next {
-					next = t
-				}
-			} else if f.remain <= 0 {
-				next = e.clock
+	for _, f := range e.act {
+		if f.rate > 0 {
+			if t := e.clock + f.remain/f.rate; t < next {
+				next = t
 			}
-		} else if f.startAt < next {
-			next = f.startAt
+		} else if f.remain <= 0 && e.clock < next {
+			next = e.clock
 		}
 	}
-	for _, tm := range e.timers {
-		if tm.at < next {
-			next = tm.at
+	if !e.cal.empty() {
+		if t := e.cal.top().at; t < next {
+			next = t
 		}
 	}
 	if math.IsInf(next, 1) {
 		return false
 	}
+	e.events++
 	if next < e.clock {
 		next = e.clock
 	}
 	dt := next - e.clock
 
-	// Move bytes.
+	// Integrate link utilization over the rate interval.
 	if dt > 0 {
-		for _, f := range e.flows {
-			if f.active && f.rate > 0 {
-				moved := f.rate * dt
-				if moved > f.remain {
-					moved = f.remain
-				}
-				f.remain -= moved
-				for _, eid := range f.path {
-					e.linkBytes[eid] += moved
-				}
+		for i, r := range e.linkRate {
+			if r > 0 {
+				e.linkBytes[i] += r * dt
 			}
 		}
 	}
@@ -545,11 +682,39 @@ func (e *engine) advance() bool {
 
 	changed := false
 
-	// Complete finished flows (deterministic order by flow id: e.flows is
-	// in creation order).
-	keep := e.flows[:0]
-	for _, f := range e.flows {
-		if f.active && (f.remain <= timeEps*math.Max(1, f.size) || f.remain <= f.rate*timeEps) {
+	// Move bytes and detect completed flows.
+	e.completed = e.completed[:0]
+	for _, f := range e.act {
+		if dt > 0 && f.rate > 0 {
+			moved := f.rate * dt
+			if moved > f.remain {
+				moved = f.remain
+			}
+			f.remain -= moved
+		}
+		if f.remain <= timeEps*math.Max(1, f.size) || f.remain <= f.rate*timeEps {
+			e.completed = append(e.completed, f)
+		}
+	}
+	if len(e.completed) > 0 {
+		// Deterministic completion order by (src, dst, tag, matchIdx). Flow
+		// ids (creation order) are NOT deterministic for flows matched at the
+		// same virtual instant — they depend on goroutine scheduling — but
+		// the per-key match index is fixed by each rank's program order.
+		sort.Slice(e.completed, func(i, j int) bool {
+			a, b := e.completed[i], e.completed[j]
+			if a.src != b.src {
+				return a.src < b.src
+			}
+			if a.dst != b.dst {
+				return a.dst < b.dst
+			}
+			if a.tag != b.tag {
+				return a.tag < b.tag
+			}
+			return a.matchIdx < b.matchIdx
+		})
+		for _, f := range e.completed {
 			var err error
 			if f.overflow {
 				err = fmt.Errorf("simnet: message truncated: receiver buffer %d < %d",
@@ -563,31 +728,29 @@ func (e *engine) advance() bool {
 				Src: f.src, Dst: f.dst, Tag: f.tag, Size: int(f.size),
 				MatchedAt: f.matched, StartedAt: f.startAt, FinishedAt: e.clock,
 			})
-			changed = true
-			continue
+			e.removeActive(f)
+			if !e.dense {
+				e.detachFlow(f)
+			}
 		}
-		keep = append(keep, f)
-	}
-	e.flows = keep
-
-	// Activate pending flows whose startup delay elapsed.
-	for _, f := range e.flows {
-		if !f.active && f.startAt <= e.clock+timeEps {
-			f.active = true
-			changed = true
-		}
+		changed = true
 	}
 
-	// Fire due timers.
-	keepT := e.timers[:0]
-	for _, tm := range e.timers {
-		if tm.at <= e.clock+timeEps {
-			e.completeOp(tm.op, nil)
-		} else {
-			keepT = append(keepT, tm)
+	// Fire due calendar events: flow activations and timers.
+	for !e.cal.empty() && e.cal.top().at <= e.clock+timeEps {
+		ev := e.cal.pop()
+		if ev.f != nil {
+			ev.f.active = true
+			ev.f.actIdx = len(e.act)
+			e.act = append(e.act, ev.f)
+			if !e.dense {
+				e.attachFlow(ev.f)
+			}
+			changed = true
+		} else if ev.op != nil {
+			e.completeOp(ev.op, nil)
 		}
 	}
-	e.timers = keepT
 
 	if changed {
 		e.ratesDirty = true
@@ -595,98 +758,52 @@ func (e *engine) advance() bool {
 	return true
 }
 
+// removeActive deletes a flow from the active set in O(1). Caller holds e.mu.
+func (e *engine) removeActive(f *flow) {
+	last := len(e.act) - 1
+	moved := e.act[last]
+	e.act[f.actIdx] = moved
+	moved.actIdx = f.actIdx
+	e.act[last] = nil
+	e.act = e.act[:last]
+	f.active = false
+}
+
 // efficiency returns the effective fraction of raw link capacity available
-// when n flows share the link.
+// when n flows share the link, memoized per count.
 func (e *engine) efficiency(n int) float64 {
 	if n <= 1 {
 		return 1
 	}
-	m := e.cfg.MinEfficiency
-	return m + (1-m)/float64(n)
+	if n >= len(e.effTab) {
+		if e.effTab == nil {
+			e.effTab = make([]float64, 2, n+1)
+			e.effTab[0], e.effTab[1] = 1, 1
+		}
+		m := e.cfg.MinEfficiency
+		for i := len(e.effTab); i <= n; i++ {
+			e.effTab = append(e.effTab, m+(1-m)/float64(i))
+		}
+	}
+	return e.effTab[n]
 }
 
-// assignRates recomputes max-min fair rates for all active flows. Caller
-// holds e.mu.
+// assignRates recomputes max-min fair rates for all active flows with the
+// configured solver and refreshes the aggregate per-link rates. Caller holds
+// e.mu.
 func (e *engine) assignRates() {
-	nEdges := e.idx.Len()
-	count := make([]int, nEdges)
-	var active []*flow
-	for _, f := range e.flows {
-		if !f.active {
-			continue
-		}
-		f.rate = 0
-		if len(f.path) == 0 {
-			// Self-message: crosses no link, completes (near-)instantly
-			// once active. A finite rate keeps the arithmetic NaN-free.
-			f.rate = math.Max(f.remain, 1) / timeEps
-			continue
-		}
-		active = append(active, f)
-		for _, eid := range f.path {
-			count[eid]++
-		}
+	if e.dense {
+		e.assignRatesDense()
+	} else {
+		e.assignRatesFast()
 	}
-	if len(active) == 0 {
-		return
-	}
-	remCap := make([]float64, nEdges)
-	remCount := make([]int, nEdges)
-	for eid := 0; eid < nEdges; eid++ {
-		remCap[eid] = e.edgeCap[eid] * e.efficiency(count[eid])
-		remCount[eid] = count[eid]
-	}
-	unassigned := len(active)
-	frozen := make([]bool, len(active))
-	for unassigned > 0 {
-		// Bottleneck fair share.
-		share := math.Inf(1)
-		for eid := 0; eid < nEdges; eid++ {
-			if remCount[eid] > 0 {
-				if s := remCap[eid] / float64(remCount[eid]); s < share {
-					share = s
-				}
-			}
-		}
-		if math.IsInf(share, 1) {
-			break // no constrained flows left (cannot happen on a tree)
-		}
-		// Freeze flows crossing any bottleneck edge at the fair share.
-		progressed := false
-		for i, f := range active {
-			if frozen[i] {
-				continue
-			}
-			bottlenecked := false
-			for _, eid := range f.path {
-				if remCount[eid] > 0 && remCap[eid]/float64(remCount[eid]) <= share*(1+1e-9) {
-					bottlenecked = true
-					break
-				}
-			}
-			if !bottlenecked {
-				continue
-			}
-			frozen[i] = true
-			f.rate = share
-			unassigned--
-			progressed = true
-			for _, eid := range f.path {
-				remCap[eid] -= share
-				remCount[eid]--
-			}
-		}
-		if !progressed {
-			// Numerical safety valve: freeze everything at the share.
-			for i, f := range active {
-				if !frozen[i] {
-					frozen[i] = true
-					f.rate = share
-					unassigned--
-				}
-			}
-		}
-	}
+}
+
+// selfRate is the (finite) rate of a message that crosses no link, so it
+// completes (near-)instantly once active while keeping the arithmetic
+// NaN-free.
+func selfRate(remain float64) float64 {
+	return math.Max(remain, 1) / timeEps
 }
 
 // ---------------------------------------------------------------------------
@@ -708,11 +825,12 @@ func (c *comm) Now() float64 {
 }
 
 type request struct {
-	e  *engine
-	op *simOp
+	e    *engine
+	op   *simOp
+	rank int
 }
 
-func (r *request) Wait() error { return r.e.block(r.op) }
+func (r *request) Wait() error { return r.e.block(r.op, r.rank) }
 
 type errRequest struct{ err error }
 
@@ -731,7 +849,7 @@ func (c *comm) Isend(buf []byte, dst, tag int) mpi.Request {
 	}
 	e.post(matchKey{src: c.rank, dst: dst, tag: tag}, op, true)
 	e.mu.Unlock()
-	return &request{e: e, op: op}
+	return &request{e: e, op: op, rank: c.rank}
 }
 
 func (c *comm) Irecv(buf []byte, src, tag int) mpi.Request {
@@ -747,7 +865,7 @@ func (c *comm) Irecv(buf []byte, src, tag int) mpi.Request {
 	}
 	e.post(matchKey{src: src, dst: c.rank, tag: tag}, op, false)
 	e.mu.Unlock()
-	return &request{e: e, op: op}
+	return &request{e: e, op: op, rank: c.rank}
 }
 
 func (c *comm) Barrier() error {
@@ -761,11 +879,10 @@ func (c *comm) Barrier() error {
 	if e.barrierWaiting == e.alive {
 		// Last arrival: schedule completion after the barrier latency and
 		// reset for the next generation.
-		e.timers = append(e.timers, timer{at: e.clock + e.cfg.BarrierLatency, op: op})
-		sort.Slice(e.timers, func(i, j int) bool { return e.timers[i].at < e.timers[j].at })
+		e.cal.push(e.clock+e.cfg.BarrierLatency, nil, op)
 		e.barrierOp = nil
 		e.barrierWaiting = 0
 	}
 	e.mu.Unlock()
-	return (&request{e: e, op: op}).Wait()
+	return (&request{e: e, op: op, rank: c.rank}).Wait()
 }

@@ -239,7 +239,13 @@ func (g *Graph) Links() []Edge {
 
 // Validate checks that the graph is a well-formed Ethernet switched cluster:
 // non-empty, connected, acyclic (a tree), and with every machine a leaf.
+// Validating an already-validated graph is a read-only no-op (mutation
+// resets the flag), so concurrent users of a shared validated graph — e.g.
+// parallel harness cells each building a World — never write to it.
 func (g *Graph) Validate() error {
+	if g.validated {
+		return nil
+	}
 	n := len(g.nodes)
 	if n == 0 {
 		return errors.New("topology: empty graph")
