@@ -1,11 +1,19 @@
 GO ?= go
 
-.PHONY: check vet build build-obsv-off test race bench bench-sim microbench fuzz
+.PHONY: check vet build build-obsv-off test race alloc-gates bench bench-sim bench-transport microbench fuzz
 
 # check is the one-command gate: static analysis, full build (with and
-# without the observability layer), and the test suite under the race
-# detector.
-check: vet build build-obsv-off race
+# without the observability layer), the test suite under the race
+# detector, and the allocation-regression gates (which need a race-free
+# build: the race runtime drops sync.Pool puts).
+check: vet build build-obsv-off race alloc-gates
+
+# alloc-gates are the steady-state allocation budgets for the hot paths:
+# zero allocs per Scheduled.Fn run and amortized sub-0.1 allocs per
+# instrumented operation.
+alloc-gates:
+	$(GO) test -run 'TestScheduledFnNoSteadyStateAllocs' -count=1 ./internal/alltoall/
+	$(GO) test -run 'TestInstrumentedOpAllocsAmortized' -count=1 ./internal/obsv/
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +44,14 @@ bench:
 # numbers live in BENCH_sim.json.
 bench-sim:
 	$(GO) test -bench=BenchmarkSimAAPC -benchmem -benchtime=1x -run=^$$ ./internal/simnet/
+
+# bench-transport measures the transport data plane: scheduled all-to-all
+# over the mem and tcp transports across a world-size x message-size grid;
+# committed reference numbers (before/after the vectored-write +
+# pooled-buffer data plane) live in BENCH_transport.json.
+bench-transport:
+	$(GO) test -bench 'BenchmarkMemAlltoall|BenchmarkTCPAlltoall' -run=^$$ -benchtime 30x ./internal/alltoall/
+	$(GO) test -bench 'BenchmarkBuildGreedy/N=64|BenchmarkBuildGreedy/N=256' -run=^$$ -benchtime 1x ./internal/schedule/
 
 # microbench runs the go-test benchmarks (paper tables/figures, transport
 # and instrumentation costs).

@@ -50,6 +50,7 @@ type options struct {
 	faultsSpec string
 	metrics    string
 	tracePath  string
+	xportStats bool
 }
 
 func main() {
@@ -72,6 +73,8 @@ func main() {
 		"serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address for the run's duration (e.g. 127.0.0.1:9100)")
 	flag.StringVar(&o.tracePath, "trace", "",
 		"write the run's obsv event trace as JSONL to this file (render with aapcbench -render)")
+	flag.BoolVar(&o.xportStats, "transport-stats", false,
+		"report per-rank transport counters after the run (frames, bytes, vectored writes, coalescing factor)")
 	flag.Parse()
 	if err := run(&o); err != nil {
 		if re, ok := mpi.AsRankError(err); ok {
@@ -117,6 +120,24 @@ func wrapFaults(c mpi.Comm, plan *faults.Plan, deadline time.Duration, rec *obsv
 func instrument(c mpi.Comm, plan *faults.Plan, deadline time.Duration) (mpi.Comm, *obsv.Recorder) {
 	rec := obsv.NewRecorder(c.Rank())
 	return obsv.Instrument(wrapFaults(c, plan, deadline, rec), rec), rec
+}
+
+// reportTransportStats prints the rank's data-plane counters when the comm
+// exposes them (the distributed tcp transport does). The coalescing factor
+// is frames per vectored write: 1.0 means every frame paid its own syscall,
+// higher means the write coalescer batched frames behind a busy socket.
+func reportTransportStats(c mpi.Comm, out interface{ Write([]byte) (int, error) }) {
+	sr, ok := c.(interface{ TransportStats() tcp.Stats })
+	if !ok {
+		return
+	}
+	s := sr.TransportStats()
+	coalesce := 0.0
+	if s.Writevs > 0 {
+		coalesce = float64(s.FramesSent+s.AcksSent) / float64(s.Writevs)
+	}
+	fmt.Fprintf(out, "rank %2d: transport: frames=%d bytes=%d writevs=%d coalescing=%.2f dup_discards=%d\n",
+		c.Rank(), s.FramesSent, s.BytesSent, s.Writevs, coalesce, s.DupDiscards)
 }
 
 // writeTrace writes the merged event trace of the recorders as JSONL.
@@ -173,6 +194,9 @@ func run(o *options) error {
 		if err := runRank(ic, fn, msize, os.Stdout); err != nil {
 			return err
 		}
+		if o.xportStats {
+			reportTransportStats(c, os.Stdout)
+		}
 		if o.tracePath != "" {
 			meta := obsv.Meta{Ranks: c.Size(), Transport: "tcp", Name: o.alg, Msize: msize}
 			return writeTrace(o.tracePath, meta, rec)
@@ -220,7 +244,11 @@ func run(o *options) error {
 				recs[c.Rank()] = rec
 				mu.Unlock()
 				reg.Add(rec)
-				errs <- runRank(ic, fn, msize, &lockedWriter{mu: &mu})
+				err = runRank(ic, fn, msize, &lockedWriter{mu: &mu})
+				if err == nil && o.xportStats {
+					reportTransportStats(c, &lockedWriter{mu: &mu})
+				}
+				errs <- err
 			}()
 		}
 		wg.Wait()

@@ -1,0 +1,5 @@
+//go:build !race
+
+package alltoall
+
+const raceEnabled = false

@@ -2,7 +2,7 @@ package alltoall
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 	"time"
 
 	"github.com/aapc-sched/aapcsched/internal/mpi"
@@ -49,15 +49,20 @@ type syncRef struct {
 	tag  int
 }
 
-// sendStep is one outgoing data message of a rank, with the control traffic
-// around it.
+// sendStep is one outgoing data message of a rank. Its control traffic lives
+// in the program's flat waits/emits arrays; the step holds half-open index
+// ranges into them. Flat storage keeps each rank's whole plan in three
+// contiguous allocations instead of two slices per step, so executing it
+// walks memory linearly.
 type sendStep struct {
 	phase int
 	dst   int
-	// waitFor lists the sync messages that must arrive before sending.
-	waitFor []syncRef
-	// emit lists the sync messages to issue once the send completes.
-	emit []syncRef
+	// [waitLo, waitHi) indexes program.waits: syncs that must arrive before
+	// sending.
+	waitLo, waitHi int32
+	// [emitLo, emitHi) indexes program.emits: syncs to issue once the send
+	// completes.
+	emitLo, emitHi int32
 }
 
 // program is the per-rank execution plan compiled from a schedule.
@@ -66,8 +71,22 @@ type program struct {
 	recvSrcs []int
 	// sends lists this rank's outgoing messages in phase order.
 	sends []sendStep
+	// waits and emits back the sendSteps' index ranges.
+	waits []syncRef
+	emits []syncRef
 	// numPhases is the schedule's phase count (used by BarrierSync).
 	numPhases int
+}
+
+// runScratch is the per-invocation working set of FnTimeout, pooled so a
+// steady stream of alltoalls allocates nothing: the request slices are
+// pre-sized to the largest program and the 1-byte sync buffers persist
+// between runs.
+type runScratch struct {
+	recvReqs  []mpi.Request
+	syncSends []mpi.Request
+	syncByte  [1]byte // payload for emitted syncs (value 1, set once)
+	waitByte  [1]byte // receive buffer for awaited syncs
 }
 
 // Scheduled is the paper's contribution compiled to a runnable routine: a
@@ -79,6 +98,11 @@ type program struct {
 type Scheduled struct {
 	mode     SyncMode
 	programs []program
+	// maxRecvs/maxEmits size a runScratch so one pooled scratch fits any
+	// rank's program.
+	maxRecvs int
+	maxEmits int
+	scratch  sync.Pool
 }
 
 // NewScheduled compiles a schedule and its synchronization plan into a
@@ -92,42 +116,120 @@ func NewScheduled(s *schedule.Schedule, plan *syncplan.Plan, mode SyncMode) (*Sc
 	for r := range progs {
 		progs[r].numPhases = len(s.Phases)
 	}
-	// Data messages in phase order.
-	for pi, phase := range s.Phases {
+	// Counting pass: exact send/recv totals per rank, so every program slice
+	// is allocated once at its final size.
+	sendN := make([]int, n)
+	recvN := make([]int, n)
+	total := 0
+	for _, phase := range s.Phases {
+		total += len(phase)
 		for _, m := range phase {
-			progs[m.Dst].recvSrcs = append(progs[m.Dst].recvSrcs, m.Src)
-			progs[m.Src].sends = append(progs[m.Src].sends, sendStep{phase: pi, dst: m.Dst})
+			sendN[m.Src]++
+			recvN[m.Dst]++
 		}
 	}
 	for r := range progs {
-		sort.SliceStable(progs[r].sends, func(i, j int) bool {
-			return progs[r].sends[i].phase < progs[r].sends[j].phase
-		})
+		progs[r].sends = make([]sendStep, 0, sendN[r])
+		progs[r].recvSrcs = make([]int, 0, recvN[r])
 	}
+	// Placement pass. Iterating phases in order IS the counting sort's
+	// distribution step — the phase index is the key and the phases are the
+	// buckets, already in key order — so each rank's sends and recvSrcs come
+	// out phase-sorted with no comparison sort.
+	// stepAt maps (src, dst) to src's step index for the sync wiring below;
+	// a flat n*n array beats a map keyed by Message at every size we run.
+	stepAt := make([]int32, n*n)
+	for i := range stepAt {
+		stepAt[i] = -1
+	}
+	for pi, phase := range s.Phases {
+		for _, m := range phase {
+			progs[m.Dst].recvSrcs = append(progs[m.Dst].recvSrcs, m.Src)
+			stepAt[m.Src*n+m.Dst] = int32(len(progs[m.Src].sends))
+			progs[m.Src].sends = append(progs[m.Src].sends, sendStep{phase: pi, dst: m.Dst})
+		}
+	}
+	sc := &Scheduled{mode: mode, programs: progs}
 	// Wire the synchronizations. The i-th sync of the (deterministically
-	// sorted) plan uses tag tagSync+i on both sides.
+	// sorted) plan uses tag tagSync+i on both sides. Two passes: count
+	// waits/emits per step, turn the counts into flat-array offsets, then
+	// place the refs.
 	if mode == PairwiseSync {
-		stepOf := make(map[schedule.Message]*sendStep)
+		find := func(m schedule.Message) (int, int32, error) {
+			si := stepAt[m.Src*n+m.Dst]
+			if si < 0 {
+				return 0, 0, fmt.Errorf("alltoall: sync refers to unscheduled message %v", m)
+			}
+			return m.Src, si, nil
+		}
+		for _, sy := range plan.Syncs {
+			er, ei, err := find(sy.After)
+			if err != nil {
+				return nil, err
+			}
+			wr, wi, err := find(sy.Before)
+			if err != nil {
+				return nil, err
+			}
+			progs[er].sends[ei].emitHi++ // counts first, offsets below
+			progs[wr].sends[wi].waitHi++
+		}
+		for r := range progs {
+			p := &progs[r]
+			var nw, ne int32
+			for i := range p.sends {
+				st := &p.sends[i]
+				st.waitLo, st.waitHi = nw, nw+st.waitHi
+				st.emitLo, st.emitHi = ne, ne+st.emitHi
+				nw, ne = st.waitHi, st.emitHi
+			}
+			p.waits = make([]syncRef, nw)
+			p.emits = make([]syncRef, ne)
+		}
+		// Placement cursors: next free slot per step, starting at each Lo.
+		cursor := make([]int32, 0, total)
+		curBase := make([]int, n+1)
+		for r := range progs {
+			curBase[r] = len(cursor)
+			for i := range progs[r].sends {
+				cursor = append(cursor, progs[r].sends[i].waitLo)
+			}
+		}
+		curBase[n] = len(cursor)
+		ecursor := make([]int32, len(cursor))
 		for r := range progs {
 			for i := range progs[r].sends {
-				st := &progs[r].sends[i]
-				stepOf[schedule.Message{Src: r, Dst: st.dst}] = st
+				ecursor[curBase[r]+i] = progs[r].sends[i].emitLo
 			}
 		}
 		for i, sy := range plan.Syncs {
-			after, ok := stepOf[sy.After]
-			if !ok {
-				return nil, fmt.Errorf("alltoall: sync refers to unscheduled message %v", sy.After)
-			}
-			before, ok := stepOf[sy.Before]
-			if !ok {
-				return nil, fmt.Errorf("alltoall: sync refers to unscheduled message %v", sy.Before)
-			}
-			after.emit = append(after.emit, syncRef{peer: sy.Before.Src, tag: tagSync + i})
-			before.waitFor = append(before.waitFor, syncRef{peer: sy.After.Src, tag: tagSync + i})
+			er, ei, _ := find(sy.After)
+			wr, wi, _ := find(sy.Before)
+			ec := &ecursor[curBase[er]+int(ei)]
+			progs[er].emits[*ec] = syncRef{peer: sy.Before.Src, tag: tagSync + i}
+			*ec++
+			wc := &cursor[curBase[wr]+int(wi)]
+			progs[wr].waits[*wc] = syncRef{peer: sy.After.Src, tag: tagSync + i}
+			*wc++
 		}
 	}
-	return &Scheduled{mode: mode, programs: progs}, nil
+	for _, p := range progs {
+		if len(p.recvSrcs) > sc.maxRecvs {
+			sc.maxRecvs = len(p.recvSrcs)
+		}
+		if len(p.emits) > sc.maxEmits {
+			sc.maxEmits = len(p.emits)
+		}
+	}
+	sc.scratch.New = func() any {
+		s := &runScratch{
+			recvReqs:  make([]mpi.Request, 0, sc.maxRecvs),
+			syncSends: make([]mpi.Request, 0, sc.maxEmits),
+		}
+		s.syncByte[0] = 1
+		return s
+	}
+	return sc, nil
 }
 
 // Mode returns the synchronization mode the routine was compiled with.
@@ -141,9 +243,7 @@ func (sc *Scheduled) NumRanks() int { return len(sc.programs) }
 func (sc *Scheduled) SyncCount() int {
 	total := 0
 	for _, p := range sc.programs {
-		for _, st := range p.sends {
-			total += len(st.emit)
-		}
+		total += len(p.emits)
 	}
 	return total
 }
@@ -160,6 +260,12 @@ func (sc *Scheduled) Fn() Func { return sc.FnTimeout(0) }
 // transports with typed failure detection (tcp), a dead peer surfaces as a
 // *mpi.RankError well before the deadline; the deadline is the backstop for
 // silent loss.
+//
+// The returned function is safe for concurrent use (one call per rank) and
+// allocation-free in the steady state: its working set comes from a pool of
+// pre-sized scratch buffers. Scratch is only recycled on the success path —
+// after an error, a timed-out receive may still hold the scratch's sync
+// buffer, so the whole scratch is abandoned to the garbage collector.
 func (sc *Scheduled) FnTimeout(d time.Duration) Func {
 	return func(c mpi.Comm, b Buffers, msize int) error {
 		if c.Size() != len(sc.programs) {
@@ -169,12 +275,14 @@ func (sc *Scheduled) FnTimeout(d time.Duration) Func {
 		prog := &sc.programs[c.Rank()]
 		copySelf(c, b)
 
+		scr := sc.scratch.Get().(*runScratch)
+
 		// Pre-post every data receive; ordering across sources is enforced
 		// by the senders, and tags distinguish nothing: each (src, dst)
 		// pair occurs exactly once.
-		recvReqs := make([]mpi.Request, len(prog.recvSrcs))
-		for i, src := range prog.recvSrcs {
-			recvReqs[i] = c.Irecv(b.RecvBlock(src), src, tagData)
+		recvReqs := scr.recvReqs[:0]
+		for _, src := range prog.recvSrcs {
+			recvReqs = append(recvReqs, c.Irecv(b.RecvBlock(src), src, tagData))
 		}
 
 		// When the comm is instrumented (obsv.Instrument), mark phase
@@ -182,11 +290,11 @@ func (sc *Scheduled) FnTimeout(d time.Duration) Func {
 		// on real transports, not just in the simulator.
 		marker := obsv.MarkerFor(c)
 
-		var syncSends []mpi.Request
-		syncByte := []byte{1}
+		syncSends := scr.syncSends[:0]
 		phase := 0
 		curPhase := -1
-		for _, st := range prog.sends {
+		for i := range prog.sends {
+			st := &prog.sends[i]
 			if sc.mode == BarrierSync {
 				// Enter the send's phase, barrier-separated.
 				for phase < st.phase {
@@ -200,12 +308,12 @@ func (sc *Scheduled) FnTimeout(d time.Duration) Func {
 				marker.MarkPhase(st.phase)
 			}
 			curPhase = st.phase
-			for _, w := range st.waitFor {
+			for _, w := range prog.waits[st.waitLo:st.waitHi] {
 				var waitStart float64
 				if marker != nil {
 					waitStart = c.Now()
 				}
-				if err := mpi.RecvTimeout(c, make([]byte, 1), w.peer, w.tag, d); err != nil {
+				if err := mpi.RecvTimeout(c, scr.waitByte[:], w.peer, w.tag, d); err != nil {
 					return fmt.Errorf("alltoall: phase %d sync wait from %d: %w", st.phase, w.peer, err)
 				}
 				if marker != nil {
@@ -215,8 +323,8 @@ func (sc *Scheduled) FnTimeout(d time.Duration) Func {
 			if err := mpi.SendTimeout(c, b.SendBlock(st.dst), st.dst, tagData, d); err != nil {
 				return fmt.Errorf("alltoall: send phase %d to %d: %w", st.phase, st.dst, err)
 			}
-			for _, e := range st.emit {
-				syncSends = append(syncSends, c.Isend(syncByte, e.peer, e.tag))
+			for _, e := range prog.emits[st.emitLo:st.emitHi] {
+				syncSends = append(syncSends, c.Isend(scr.syncByte[:], e.peer, e.tag))
 			}
 		}
 		if sc.mode == BarrierSync {
@@ -234,6 +342,17 @@ func (sc *Scheduled) FnTimeout(d time.Duration) Func {
 		if err := mpi.WaitAllTimeout(syncSends, d); err != nil {
 			return fmt.Errorf("alltoall: sync send drain: %w", err)
 		}
+		// Success: every request above completed, so nothing references the
+		// scratch anymore and it can serve the next run.
+		for i := range recvReqs {
+			recvReqs[i] = nil
+		}
+		for i := range syncSends {
+			syncSends[i] = nil
+		}
+		scr.recvReqs = recvReqs[:0]
+		scr.syncSends = syncSends[:0]
+		sc.scratch.Put(scr)
 		return nil
 	}
 }

@@ -1,0 +1,106 @@
+package alltoall
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/aapc-sched/aapcsched/internal/mpi"
+	"github.com/aapc-sched/aapcsched/internal/schedule"
+	"github.com/aapc-sched/aapcsched/internal/syncplan"
+	"github.com/aapc-sched/aapcsched/internal/topology"
+)
+
+// nopComm is a do-nothing transport: every operation completes immediately
+// and allocates nothing, so testing.AllocsPerRun against it isolates the
+// scheduled routine's own allocation behaviour from the transport's.
+type nopComm struct {
+	rank, size int
+	start      time.Time
+}
+
+type nopReq struct{}
+
+func (nopReq) Wait() error { return nil }
+
+func (c *nopComm) Rank() int                                  { return c.rank }
+func (c *nopComm) Size() int                                  { return c.size }
+func (c *nopComm) Now() float64                               { return time.Since(c.start).Seconds() }
+func (c *nopComm) Isend(buf []byte, dst, tag int) mpi.Request { return nopReq{} }
+func (c *nopComm) Irecv(buf []byte, src, tag int) mpi.Request { return nopReq{} }
+func (c *nopComm) Barrier() error                             { return nil }
+
+// allocTestScheduled compiles the pairwise-synchronized routine for a
+// two-switch cluster small enough for a unit test but wide enough that the
+// schedule has multiple phases and real sync traffic.
+func allocTestScheduled(t *testing.T) *Scheduled {
+	t.Helper()
+	g := topology.New()
+	s0 := g.MustAddSwitch("s0")
+	s1 := g.MustAddSwitch("s1")
+	g.MustConnect(s0, s1)
+	const n = 8
+	for i := 0; i < n; i++ {
+		m := g.MustAddMachine(fmt.Sprintf("n%d", i))
+		if i < n/2 {
+			g.MustConnect(s0, m)
+		} else {
+			g.MustConnect(s1, m)
+		}
+	}
+	sched, err := schedule.Build(g.MustValidate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := syncplan.Build(g.MustValidate(), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScheduled(sched, plan, PairwiseSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.SyncCount() == 0 {
+		t.Fatal("alloc test schedule has no sync traffic; widen the cluster")
+	}
+	return sc
+}
+
+// TestScheduledFnNoSteadyStateAllocs is the allocation-regression gate for
+// the compiled routine: after the first run has populated the scratch pool,
+// executing a whole program — pre-posting receives, waiting syncs, sending
+// data, emitting syncs, draining — must not allocate. Transport allocations
+// are excluded by construction (nopComm allocates nothing).
+func TestScheduledFnNoSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector drops sync.Pool puts; zero-alloc assertion only holds without it")
+	}
+	sc := allocTestScheduled(t)
+	n := sc.NumRanks()
+	const msize = 64
+	comms := make([]*nopComm, n)
+	bufs := make([]*Contig, n)
+	start := time.Now()
+	for r := 0; r < n; r++ {
+		comms[r] = &nopComm{rank: r, size: n, start: start}
+		bufs[r] = NewContig(n, msize)
+	}
+	fn := sc.Fn()
+	// Warm the scratch pool: one run per rank.
+	for r := 0; r < n; r++ {
+		if err := fn(comms[r], bufs[r], msize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < n; r++ {
+		r := r
+		allocs := testing.AllocsPerRun(50, func() {
+			if err := fn(comms[r], bufs[r], msize); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("rank %d: %.1f allocs per run, want 0", r, allocs)
+		}
+	}
+}

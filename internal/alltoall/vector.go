@@ -158,7 +158,8 @@ func (sc *Scheduled) FnV() VFunc {
 		var syncSends []mpi.Request
 		syncByte := []byte{1}
 		phase := 0
-		for _, st := range prog.sends {
+		for i := range prog.sends {
+			st := &prog.sends[i]
 			if sc.mode == BarrierSync {
 				for phase < st.phase {
 					if err := c.Barrier(); err != nil {
@@ -167,7 +168,7 @@ func (sc *Scheduled) FnV() VFunc {
 					phase++
 				}
 			}
-			for _, w := range st.waitFor {
+			for _, w := range prog.waits[st.waitLo:st.waitHi] {
 				if err := mpi.Recv(c, make([]byte, 1), w.peer, w.tag); err != nil {
 					return fmt.Errorf("alltoall: sync wait from %d: %w", w.peer, err)
 				}
@@ -175,7 +176,7 @@ func (sc *Scheduled) FnV() VFunc {
 			if err := mpi.Send(c, b.SendBlockV(st.dst), st.dst, tagData); err != nil {
 				return fmt.Errorf("alltoall: send phase %d to %d: %w", st.phase, st.dst, err)
 			}
-			for _, e := range st.emit {
+			for _, e := range prog.emits[st.emitLo:st.emitHi] {
 				syncSends = append(syncSends, c.Isend(syncByte, e.peer, e.tag))
 			}
 		}

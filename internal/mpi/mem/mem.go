@@ -28,6 +28,43 @@ type World struct {
 	recvs   map[matchKey][]*op
 	dead    map[int]error
 	barrier *barrierGen
+
+	// opsMu guards opFree, the freelist of completed operations. An op (and
+	// its one-slot channel) is recycled when Wait consumes its completion —
+	// the only point where provably neither side references it anymore. Ops
+	// abandoned by WaitTimeout are never recycled: a late match may still
+	// write their buffer and channel.
+	opsMu  sync.Mutex
+	opFree []*op
+}
+
+// opFreeCap bounds the freelist; beyond it completed ops fall to the GC.
+const opFreeCap = 1024
+
+// getOp returns a recycled op or makes a fresh one.
+func (w *World) getOp(buf []byte) *op {
+	w.opsMu.Lock()
+	if k := len(w.opFree); k > 0 {
+		o := w.opFree[k-1]
+		w.opFree[k-1] = nil
+		w.opFree = w.opFree[:k-1]
+		w.opsMu.Unlock()
+		o.buf = buf
+		return o
+	}
+	w.opsMu.Unlock()
+	return &op{w: w, buf: buf, done: make(chan error, 1)}
+}
+
+// putOp returns a consumed op to the freelist. Its channel is empty again
+// (the single completion was just received), so it is ready for reuse.
+func (w *World) putOp(o *op) {
+	o.buf = nil
+	w.opsMu.Lock()
+	if len(w.opFree) < opFreeCap {
+		w.opFree = append(w.opFree, o)
+	}
+	w.opsMu.Unlock()
 }
 
 // barrierGen is one generation of the barrier: everyone blocked on it is
@@ -44,10 +81,39 @@ type matchKey struct {
 	src, dst, tag int
 }
 
-// op is one pending operation awaiting its match.
+// op is one pending operation awaiting its match. It doubles as the request
+// handed back to the caller: Wait consumes the completion and recycles the
+// op through the world's freelist, so a steady stream of operations reuses a
+// small set of op/channel pairs instead of allocating per message.
 type op struct {
+	w    *World
 	buf  []byte
 	done chan error
+}
+
+func (o *op) Wait() error {
+	err := <-o.done
+	o.w.putOp(o)
+	return err
+}
+
+// WaitTimeout bounds the wait (mpi.TimedRequest). The operation is
+// abandoned on timeout: its buffer must not be reused, a late match may
+// still consume it, and the op is left to the garbage collector rather than
+// recycled.
+func (o *op) WaitTimeout(d time.Duration) error {
+	if d <= 0 {
+		return o.Wait()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case err := <-o.done:
+		o.w.putOp(o)
+		return err
+	case <-t.C:
+		return &mpi.TimeoutError{Op: "wait", After: d}
+	}
 }
 
 // NewWorld creates a world of n in-process ranks and returns one
@@ -162,29 +228,6 @@ func (c *comm) Now() float64 { return time.Since(c.w.start).Seconds() }
 // Kill simulates the death of this rank (mpi.Killer).
 func (c *comm) Kill() error { return c.w.KillRank(c.rank) }
 
-type request struct {
-	done chan error
-}
-
-func (r *request) Wait() error { return <-r.done }
-
-// WaitTimeout bounds the wait (mpi.TimedRequest). The operation is
-// abandoned on timeout: its buffer must not be reused, and a late match may
-// still consume it.
-func (r *request) WaitTimeout(d time.Duration) error {
-	if d <= 0 {
-		return <-r.done
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case err := <-r.done:
-		return err
-	case <-t.C:
-		return &mpi.TimeoutError{Op: "wait", After: d}
-	}
-}
-
 // errRequest is an already-failed request.
 type errRequest struct{ err error }
 
@@ -196,16 +239,17 @@ func (c *comm) Isend(buf []byte, dst, tag int) mpi.Request {
 		return errRequest{err}
 	}
 	key := matchKey{src: c.rank, dst: dst, tag: tag}
-	me := &op{buf: buf, done: make(chan error, 1)}
-
 	w := c.w
+	me := w.getOp(buf)
 	w.mu.Lock()
 	if err := w.deadErrLocked(c.rank, dst); err != nil {
 		w.mu.Unlock()
+		w.putOp(me)
 		return errRequest{err}
 	}
 	if q := w.recvs[key]; len(q) > 0 {
 		peer := q[0]
+		q[0] = nil
 		w.recvs[key] = q[1:]
 		n := copy(peer.buf, buf)
 		w.mu.Unlock()
@@ -218,11 +262,11 @@ func (c *comm) Isend(buf []byte, dst, tag int) mpi.Request {
 			peer.done <- nil
 			me.done <- nil
 		}
-		return &request{done: me.done}
+		return me
 	}
 	w.sends[key] = append(w.sends[key], me)
 	w.mu.Unlock()
-	return &request{done: me.done}
+	return me
 }
 
 func (c *comm) Irecv(buf []byte, src, tag int) mpi.Request {
@@ -230,13 +274,13 @@ func (c *comm) Irecv(buf []byte, src, tag int) mpi.Request {
 		return errRequest{err}
 	}
 	key := matchKey{src: src, dst: c.rank, tag: tag}
-	me := &op{buf: buf, done: make(chan error, 1)}
-
 	w := c.w
+	me := w.getOp(buf)
 	w.mu.Lock()
 	if q := w.sends[key]; len(q) > 0 {
 		// A message sent before the source died still matches.
 		peer := q[0]
+		q[0] = nil
 		w.sends[key] = q[1:]
 		n := copy(buf, peer.buf)
 		w.mu.Unlock()
@@ -249,15 +293,16 @@ func (c *comm) Irecv(buf []byte, src, tag int) mpi.Request {
 			peer.done <- nil
 			me.done <- nil
 		}
-		return &request{done: me.done}
+		return me
 	}
 	if err := w.deadErrLocked(c.rank, src); err != nil {
 		w.mu.Unlock()
+		w.putOp(me)
 		return errRequest{err}
 	}
 	w.recvs[key] = append(w.recvs[key], me)
 	w.mu.Unlock()
-	return &request{done: me.done}
+	return me
 }
 
 func (c *comm) Barrier() error {

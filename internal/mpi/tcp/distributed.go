@@ -251,10 +251,11 @@ func join(coordAddr string, retryWindow time.Duration) (mpi.Comm, func() error, 
 		conns:    make([]net.Conn, n),
 		outq:     make([]*outQueue, n),
 		recvNext: make([]uint64, n),
-		matcher: &matcher{
-			arrived: make(map[matchKey][][]byte),
-			posted:  make(map[matchKey][]*recvOp),
-		},
+	}
+	ep.matcher = &matcher{
+		pool:    &ep.pool,
+		arrived: make(map[matchKey][][]byte),
+		posted:  make(map[matchKey][]*recvOp),
 	}
 	for p := range ep.outq {
 		ep.outq[p] = &outQueue{}
@@ -356,6 +357,15 @@ type endpoint struct {
 	// p's read loop touches entry p.
 	recvNext []uint64
 	matcher  *matcher
+	// pool recycles receive payloads and self-send copies, exactly like the
+	// in-process World's.
+	pool bufPool
+	// recvOps recycles posted-receive operations, exactly like the
+	// in-process World's.
+	recvOps recvOpPool
+	// stats counts data-plane activity (frames, bytes, vectored writes,
+	// duplicate discards); surfaced through distComm.TransportStats.
+	stats stats
 
 	closeOnce sync.Once
 }
@@ -401,13 +411,16 @@ func (ep *endpoint) readLoop(conn net.Conn, p int) {
 		case frameAck:
 			// Distributed peers do not retransmit yet; acks are ignored.
 		case frameData:
-			payload := make([]byte, size)
+			payload := ep.pool.get(size)
 			if _, err := io.ReadFull(conn, payload); err != nil {
+				ep.pool.put(payload)
 				ep.matcher.fail(p, &mpi.RankError{Rank: p,
 					Err: fmt.Errorf("tcp: rank %d reading payload from %d: %w", ep.rank, p, err)})
 				return
 			}
 			if seq < ep.recvNext[p] {
+				ep.pool.put(payload)
+				ep.stats.dupDiscards.Add(1)
 				continue // duplicate re-delivery: discard, never double-match
 			}
 			ep.recvNext[p] = seq + 1
@@ -420,9 +433,17 @@ func (ep *endpoint) readLoop(conn net.Conn, p int) {
 	}
 }
 
+// drain flushes the queue toward peer p. Each cycle pops every queued frame
+// (up to writerMaxBatch) and issues one vectored write for the whole batch,
+// so concurrent senders behind a slow socket coalesce into a single syscall.
 func (ep *endpoint) drain(p int) {
 	q := ep.outq[p]
 	conn := ep.conns[p]
+	var (
+		batch  []*outFrame
+		hdrs   []byte
+		iovecs net.Buffers
+	)
 	for {
 		q.mu.Lock()
 		if len(q.frames) == 0 {
@@ -430,15 +451,53 @@ func (ep *endpoint) drain(p int) {
 			q.mu.Unlock()
 			return
 		}
-		fr := q.frames[0]
-		q.frames = q.frames[1:]
+		n := len(q.frames)
+		if n > writerMaxBatch {
+			n = writerMaxBatch
+		}
+		batch = append(batch[:0], q.frames[:n]...)
+		for i := 0; i < n; i++ {
+			q.frames[i] = nil
+		}
+		q.frames = q.frames[n:]
 		q.mu.Unlock()
 
-		if err := writeFrame(conn, fr); err != nil {
-			fr.done <- &mpi.RankError{Rank: p, Err: err}
-			continue
+		if cap(hdrs) < n*headerLen {
+			hdrs = make([]byte, n*headerLen)
 		}
-		fr.done <- nil
+		hdrs = hdrs[:n*headerLen]
+		iovecs = iovecs[:0]
+		for i, fr := range batch {
+			hdr := hdrs[i*headerLen : (i+1)*headerLen]
+			hdr[0] = fr.kind
+			binary.LittleEndian.PutUint64(hdr[1:9], uint64(int64(fr.tag)))
+			binary.LittleEndian.PutUint64(hdr[9:17], fr.seq)
+			binary.LittleEndian.PutUint64(hdr[17:25], uint64(int64(len(fr.buf))))
+			iovecs = append(iovecs, hdr)
+			if len(fr.buf) > 0 {
+				iovecs = append(iovecs, fr.buf)
+			}
+		}
+		// WriteTo consumes the slice it is handed; iovecs itself is rebuilt
+		// next cycle from the retained backing array.
+		iov := iovecs
+		_, err := iov.WriteTo(conn)
+		if err == nil {
+			ep.stats.writevs.Add(1)
+			ep.stats.framesSent.Add(uint64(len(batch)))
+			var bytes uint64
+			for _, fr := range batch {
+				bytes += uint64(len(fr.buf))
+			}
+			ep.stats.bytesSent.Add(bytes)
+		}
+		for _, fr := range batch {
+			if err != nil {
+				fr.done <- &mpi.RankError{Rank: p, Err: err}
+			} else {
+				fr.done <- nil
+			}
+		}
 	}
 }
 
@@ -457,12 +516,17 @@ func (c *distComm) Now() float64 { return time.Since(c.ep.start).Seconds() }
 // *mpi.RankError (mpi.Killer).
 func (c *distComm) Kill() error { return c.ep.close() }
 
+// TransportStats snapshots this rank's data-plane counters.
+// (FramesSent+AcksSent)/Writevs is the write-coalescing factor.
+func (c *distComm) TransportStats() Stats { return c.ep.stats.snapshot() }
+
 func (c *distComm) isend(buf []byte, dst, tag int) mpi.Request {
 	if err := mpi.CheckRank(c, dst); err != nil {
 		return errRequest{err}
 	}
 	if dst == c.ep.rank {
-		payload := append([]byte(nil), buf...)
+		payload := c.ep.pool.get(len(buf))
+		copy(payload, buf)
 		c.ep.matcher.deliver(matchKey{src: dst, tag: tag}, payload)
 		return errRequest{nil}
 	}
@@ -490,9 +554,9 @@ func (c *distComm) irecv(buf []byte, src, tag int) mpi.Request {
 	if err := mpi.CheckRank(c, src); err != nil {
 		return errRequest{err}
 	}
-	op := &recvOp{buf: buf, done: make(chan error, 1)}
+	op := c.ep.recvOps.get(buf)
 	c.ep.matcher.post(matchKey{src: src, tag: tag}, op)
-	return chanRequest{done: op.done}
+	return op
 }
 
 func (c *distComm) Irecv(buf []byte, src, tag int) mpi.Request {

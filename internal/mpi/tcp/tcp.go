@@ -145,6 +145,9 @@ type Stats struct {
 	FramesSent uint64
 	AcksSent   uint64
 	BytesSent  uint64
+	// Writevs counts vectored write calls. (FramesSent+AcksSent)/Writevs is
+	// the write-coalescing factor: how many frames each syscall carried.
+	Writevs uint64
 	// Reconnects counts successful pair redials; ReconnectFailures counts
 	// pairs that exhausted their redial budget and failed terminally.
 	Reconnects        uint64
@@ -170,6 +173,7 @@ type stats struct {
 	framesSent        atomic.Uint64
 	acksSent          atomic.Uint64
 	bytesSent         atomic.Uint64
+	writevs           atomic.Uint64
 	reconnects        atomic.Uint64
 	reconnectFailures atomic.Uint64
 	retransmits       atomic.Uint64
@@ -183,6 +187,7 @@ func (st *stats) snapshot() Stats {
 		FramesSent:        st.framesSent.Load(),
 		AcksSent:          st.acksSent.Load(),
 		BytesSent:         st.bytesSent.Load(),
+		Writevs:           st.writevs.Load(),
 		Reconnects:        st.reconnects.Load(),
 		ReconnectFailures: st.reconnectFailures.Load(),
 		Retransmits:       st.retransmits.Load(),
@@ -198,6 +203,11 @@ type World struct {
 	start time.Time
 	cfg   Config
 	stats stats
+	// pool recycles per-message payload buffers (receive payloads, send
+	// copies, self-send loopback copies) across the whole world.
+	pool bufPool
+	// recvOps recycles posted-receive operations across the whole world.
+	recvOps recvOpPool
 
 	listener net.Listener
 	addr     string
@@ -284,6 +294,17 @@ type outFrame struct {
 	done      chan error
 	completed bool
 	consulted bool // fault injector consulted (first transmission)
+	// poolable marks buf as owned by the world's payload pool: it is
+	// returned there when the cumulative ack prunes the frame (never
+	// earlier — rewind may retransmit any still-unacked frame).
+	poolable bool
+	// writing marks the frame as part of the writer's in-flight batch; the
+	// ack path must not release its buffer underneath the write. Guarded by
+	// the stream mutex.
+	writing bool
+	// ackFreed records that the ack pruned the frame while it was being
+	// written; the writer releases the buffer when the write completes.
+	ackFreed bool
 }
 
 // sendStream orders rank src's outbound frames toward dst and tracks the
@@ -294,17 +315,43 @@ type sendStream struct {
 	src, dst int
 	mu       sync.Mutex
 	cond     *sync.Cond
-	nextSeq  uint64
-	queue    []*outFrame
-	unacked  []*outFrame
+	nextSeq uint64
+	// queue[qhead:] is the pending-frame FIFO. Popping advances qhead (the
+	// slot is nilled); when the queue drains both reset to zero, so the
+	// backing array is reused instead of reallocated by every append that
+	// follows a front-advance.
+	queue   []*outFrame
+	qhead   int
+	unacked []*outFrame
 	resend   int // index into unacked to retransmit from
 	recvNext uint64
-	failed   error
-	closed   bool
+	// ackUpTo/ackDirty coalesce outbound cumulative acks: the read loop
+	// notes the newest value, the writer piggybacks at most one ack frame
+	// per vectored write. Values are monotonic, so collapsing a backlog of
+	// acks into the latest one loses nothing.
+	ackUpTo  uint64
+	ackDirty bool
+	// rewinds counts rewind() calls. The writer snapshots it when it
+	// collects a batch and aborts the write if it changed while blocked in
+	// acquire: a reconnect happened, and the batch's frames must now be
+	// preceded by the retransmissions the rewind scheduled.
+	rewinds uint64
+	failed  error
+	closed  bool
+}
+
+// hasWorkLocked reports whether the writer has anything to write. Caller
+// holds st.mu.
+func (st *sendStream) hasWorkLocked() bool {
+	return st.resend < len(st.unacked) || st.qhead < len(st.queue) || st.ackDirty
 }
 
 // matcher pairs incoming frames with posted receives for one rank.
 type matcher struct {
+	// pool, when non-nil, receives payload buffers back once their bytes
+	// have been copied into the user's receive buffer.
+	pool *bufPool
+
 	mu sync.Mutex
 	// arrived holds frames with no posted receive yet, FIFO per key.
 	arrived map[matchKey][][]byte
@@ -320,9 +367,78 @@ type matchKey struct {
 	tag int
 }
 
+// recvOp is one posted receive. It doubles as the request handed back to
+// the caller: Wait consumes the completion and recycles the op (and its
+// one-slot channel) through its pool, so a steady stream of receives reuses
+// a small set of op/channel pairs instead of allocating per message. Ops
+// abandoned by a WaitTimeout timeout are never recycled: a late delivery
+// may still write their buffer and channel.
 type recvOp struct {
+	pool *recvOpPool // nil: the op falls to the GC instead
 	buf  []byte
 	done chan error
+}
+
+func (o *recvOp) Wait() error {
+	err := <-o.done
+	if o.pool != nil {
+		o.pool.put(o)
+	}
+	return err
+}
+
+// WaitTimeout bounds the wait (mpi.TimedRequest). The operation is
+// abandoned on timeout: its buffer must not be reused and the op is left to
+// the garbage collector rather than recycled.
+func (o *recvOp) WaitTimeout(d time.Duration) error {
+	if d <= 0 {
+		return o.Wait()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case err := <-o.done:
+		if o.pool != nil {
+			o.pool.put(o)
+		}
+		return err
+	case <-t.C:
+		return &mpi.TimeoutError{Op: "wait", After: d}
+	}
+}
+
+// recvOpFreeCap bounds a recvOp freelist; beyond it ops fall to the GC.
+const recvOpFreeCap = 1024
+
+// recvOpPool recycles receive operations. An op is recycled only when Wait
+// consumes its completion — the one point where provably neither the
+// matcher nor the caller references it anymore.
+type recvOpPool struct {
+	mu   sync.Mutex
+	free []*recvOp
+}
+
+func (p *recvOpPool) get(buf []byte) *recvOp {
+	p.mu.Lock()
+	if k := len(p.free); k > 0 {
+		o := p.free[k-1]
+		p.free[k-1] = nil
+		p.free = p.free[:k-1]
+		p.mu.Unlock()
+		o.buf = buf
+		return o
+	}
+	p.mu.Unlock()
+	return &recvOp{pool: p, buf: buf, done: make(chan error, 1)}
+}
+
+func (p *recvOpPool) put(o *recvOp) {
+	o.buf = nil
+	p.mu.Lock()
+	if len(p.free) < recvOpFreeCap {
+		p.free = append(p.free, o)
+	}
+	p.mu.Unlock()
 }
 
 // NewWorld builds an n-rank world over loopback TCP. The returned cleanup
@@ -354,6 +470,7 @@ func NewWorld(n int, opts ...Option) ([]mpi.Comm, func() error, error) {
 	w.streams = make([][]*sendStream, n)
 	for r := 0; r < n; r++ {
 		w.matchers[r] = &matcher{
+			pool:    &w.pool,
 			arrived: make(map[matchKey][][]byte),
 			posted:  make(map[matchKey][]*recvOp),
 			srcErr:  make(map[int]error),
@@ -690,7 +807,7 @@ func (w *World) failStream(st *sendStream, err error) {
 		return
 	}
 	st.failed = err
-	for _, fr := range st.queue {
+	for _, fr := range st.queue[st.qhead:] {
 		if fr.done != nil && !fr.completed {
 			fr.completed = true
 			fr.done <- err
@@ -703,6 +820,7 @@ func (w *World) failStream(st *sendStream, err error) {
 		}
 	}
 	st.queue = nil
+	st.qhead = 0
 	st.unacked = nil
 	st.resend = 0
 	st.cond.Broadcast()
@@ -780,15 +898,17 @@ func (w *World) reconnect(lk *link, cause error) {
 		lk.connHi = connHi
 		lk.connLo = connLo
 		lk.epoch++
-		lk.state = linkUp
 		epoch := lk.epoch
+		// Rewind both directions before waking writers blocked in acquire:
+		// a writer must observe resend=0 (and the bumped rewind generation)
+		// no later than it observes the fresh connection, or it could write
+		// post-gap frames before the retransmissions that fill the gap.
+		w.streams[lk.lo][lk.hi].rewind()
+		w.streams[lk.hi][lk.lo].rewind()
+		lk.state = linkUp
 		lk.cond.Broadcast()
 		lk.mu.Unlock()
 		w.stats.reconnects.Add(1)
-		// Retransmit everything unacknowledged in both directions; the
-		// receivers' sequence cursors discard what already arrived.
-		w.streams[lk.lo][lk.hi].rewind()
-		w.streams[lk.hi][lk.lo].rewind()
 		w.wg.Add(2)
 		go w.readLoop(lk.lo, lk.hi, connLo, epoch)
 		go w.readLoop(lk.hi, lk.lo, connHi, epoch)
@@ -848,19 +968,39 @@ func (w *World) redial(lk *link) (net.Conn, net.Conn, error) {
 func (st *sendStream) rewind() {
 	st.mu.Lock()
 	st.resend = 0
+	st.rewinds++
 	st.cond.Broadcast()
 	st.mu.Unlock()
 }
 
-// ack prunes unacknowledged frames below the cumulative ack.
-func (st *sendStream) ack(upTo uint64) {
+// ack prunes unacknowledged frames below the cumulative ack, returning
+// their pooled send copies. A frame the writer is concurrently writing is
+// only marked (ackFreed); the writer releases it when the write completes —
+// releasing mid-write would hand the bytes to another message while writev
+// still references them.
+func (st *sendStream) ack(upTo uint64, pool *bufPool) {
 	st.mu.Lock()
 	k := 0
 	for k < len(st.unacked) && st.unacked[k].seq < upTo {
 		k++
 	}
 	if k > 0 {
-		st.unacked = st.unacked[k:]
+		for _, fr := range st.unacked[:k] {
+			if fr.writing {
+				fr.ackFreed = true
+			} else if fr.poolable && fr.buf != nil {
+				pool.put(fr.buf)
+				fr.buf = nil
+			}
+		}
+		// Shift the survivors down instead of re-slicing forward: the
+		// backing array keeps its full capacity, so the steady state appends
+		// in collect stop reallocating it.
+		n := copy(st.unacked, st.unacked[k:])
+		for i := n; i < len(st.unacked); i++ {
+			st.unacked[i] = nil
+		}
+		st.unacked = st.unacked[:n]
 		st.resend -= k
 		if st.resend < 0 {
 			st.resend = 0
@@ -869,164 +1009,300 @@ func (st *sendStream) ack(upTo uint64) {
 	st.mu.Unlock()
 }
 
-// enqueueAck queues a cumulative ack toward dst on this stream's writer.
-func (st *sendStream) enqueueAck(upTo uint64) {
+// noteAck records a cumulative ack to piggyback on the stream's next write.
+// upTo values are monotonic per pair, so only the newest matters; >= (not >)
+// keeps the re-ack of a discarded duplicate flowing even when the value is
+// unchanged, preserving the pre-coalescing belt-and-braces behaviour.
+func (st *sendStream) noteAck(upTo uint64) {
 	st.mu.Lock()
-	if st.failed == nil && !st.closed {
-		st.queue = append(st.queue, &outFrame{kind: frameAck, seq: upTo})
+	if st.failed == nil && !st.closed && upTo >= st.ackUpTo {
+		st.ackUpTo = upTo
+		st.ackDirty = true
 		st.cond.Signal()
 	}
 	st.mu.Unlock()
 }
 
-// writer drains one directed stream for the lifetime of the world:
-// retransmissions first, then queued frames in order. MPI's non-overtaking
-// guarantee holds because this is the only goroutine writing the pair's
-// frames for its direction.
+// writerMaxBatch bounds the frames per vectored write: 64 frames is 129
+// iovecs worst case, well under IOV_MAX, and bounds how much payload memory
+// a single batch pins against ack-driven release.
+const writerMaxBatch = 64
+
+// writeBatch is the writer's reusable scratch: the frames of the current
+// vectored write, their headers (one arena, resliced per frame), the iovec
+// list handed to net.Buffers, and a singleton frame for coalesced acks.
+type writeBatch struct {
+	frames   []*outFrame
+	nRetrans int
+	haveAck  bool
+	ackSeq   uint64
+	rewinds  uint64 // st.rewinds snapshot; mismatch after acquire = stale batch
+	dup      bool   // write frames[0] twice (injected duplicate)
+
+	hdrs   []byte
+	iovecs net.Buffers
+	ack    outFrame
+}
+
+// collect fills the batch from the stream: pending retransmissions first,
+// then queued frames in order (assigning sequence numbers and entering the
+// retransmit window), then the coalesced ack if one is due. Caller holds
+// st.mu. Returns true when the queue head cannot be admitted because the
+// retransmit window is full and nothing else is writable — the overflow
+// condition that terminally fails the stream.
+func (b *writeBatch) collect(st *sendStream, resilient bool, limit, maxData int) (overflow bool) {
+	b.frames = b.frames[:0]
+	b.nRetrans = 0
+	b.haveAck = false
+	b.dup = false
+	for st.resend < len(st.unacked) && len(b.frames) < maxData {
+		fr := st.unacked[st.resend]
+		st.resend++
+		fr.writing = true
+		b.frames = append(b.frames, fr)
+		b.nRetrans++
+	}
+	for st.qhead < len(st.queue) && len(b.frames) < maxData {
+		if resilient && len(st.unacked) >= limit {
+			if len(b.frames) == 0 && !st.ackDirty {
+				return true
+			}
+			break
+		}
+		fr := st.queue[st.qhead]
+		st.queue[st.qhead] = nil
+		st.qhead++
+		fr.seq = st.nextSeq
+		st.nextSeq++
+		if resilient {
+			st.unacked = append(st.unacked, fr)
+			st.resend = len(st.unacked)
+		}
+		fr.writing = true
+		b.frames = append(b.frames, fr)
+	}
+	if st.qhead == len(st.queue) {
+		st.queue = st.queue[:0]
+		st.qhead = 0
+	}
+	if st.ackDirty {
+		b.haveAck = true
+		b.ackSeq = st.ackUpTo
+		st.ackDirty = false
+	}
+	b.rewinds = st.rewinds
+	return false
+}
+
+// buildIovecs lays the batch out for one vectored write: header, payload,
+// header, payload, ..., with the coalesced ack last.
+func (b *writeBatch) buildIovecs() {
+	n := len(b.frames)
+	if b.dup {
+		n++
+	}
+	if b.haveAck {
+		n++
+	}
+	if cap(b.hdrs) < n*headerLen {
+		b.hdrs = make([]byte, n*headerLen)
+	}
+	b.hdrs = b.hdrs[:n*headerLen]
+	b.iovecs = b.iovecs[:0]
+	hi := 0
+	emit := func(fr *outFrame) {
+		hdr := b.hdrs[hi*headerLen : (hi+1)*headerLen]
+		hi++
+		hdr[0] = fr.kind
+		binary.LittleEndian.PutUint64(hdr[1:9], uint64(int64(fr.tag)))
+		binary.LittleEndian.PutUint64(hdr[9:17], fr.seq)
+		binary.LittleEndian.PutUint64(hdr[17:25], uint64(int64(len(fr.buf))))
+		b.iovecs = append(b.iovecs, hdr)
+		if len(fr.buf) > 0 {
+			b.iovecs = append(b.iovecs, fr.buf)
+		}
+	}
+	for _, fr := range b.frames {
+		emit(fr)
+	}
+	if b.dup && len(b.frames) > 0 {
+		emit(b.frames[0])
+	}
+	if b.haveAck {
+		b.ack = outFrame{kind: frameAck, seq: b.ackSeq}
+		emit(&b.ack)
+	}
+}
+
+// release clears the in-flight marks of the batch, releasing send copies
+// whose ack arrived mid-write, and (when complete is true) delivers every
+// data frame's completion with err. reack re-arms the coalesced ack after a
+// failed write so it is retried on the next (post-reconnect) cycle.
+func (w *World) releaseBatch(st *sendStream, b *writeBatch, err error, complete, reack bool) {
+	st.mu.Lock()
+	for _, fr := range b.frames {
+		fr.writing = false
+		if fr.ackFreed {
+			fr.ackFreed = false
+			if fr.poolable && fr.buf != nil {
+				w.pool.put(fr.buf)
+				fr.buf = nil
+			}
+		}
+		if complete && fr.done != nil && !fr.completed {
+			fr.completed = true
+			fr.done <- err
+		}
+	}
+	if reack && b.haveAck && st.failed == nil && !st.closed {
+		if b.ackSeq >= st.ackUpTo {
+			st.ackUpTo = b.ackSeq
+		}
+		st.ackDirty = true
+	}
+	st.mu.Unlock()
+}
+
+// writer drains one directed stream for the lifetime of the world. Frames
+// are coalesced opportunistically: every pass writes whatever is queued at
+// that moment — retransmissions first, then queued frames in order, plus at
+// most one piggybacked cumulative ack — in a single vectored write. An idle
+// stream therefore flushes each frame immediately (no delay timers);
+// batching emerges exactly when the socket is the bottleneck and frames
+// accumulate behind the in-flight write. MPI's non-overtaking guarantee
+// holds because this is the only goroutine writing the pair's frames for
+// its direction.
 func (w *World) writer(st *sendStream) {
 	defer w.wg.Done()
 	lk := w.linkFor(st.src, st.dst)
+	maxData := writerMaxBatch
+	if w.cfg.Faults != nil {
+		// Fault decisions are per frame and can sleep, break the link or
+		// duplicate; keep one data frame per write so injection points stay
+		// exactly where the plan put them.
+		maxData = 1
+	}
+	var b writeBatch
+	// iov is the consumable slice header handed to WriteTo (which advances
+	// it as it writes). Its address escapes through the net.Conn interface,
+	// so it is declared once per writer, not once per batch, to keep the
+	// heap allocation out of the loop.
+	var iov net.Buffers
 	for {
 		st.mu.Lock()
-		for st.failed == nil && !st.closed && st.resend >= len(st.unacked) && len(st.queue) == 0 {
+		for st.failed == nil && !st.closed && !st.hasWorkLocked() {
 			st.cond.Wait()
 		}
 		if st.failed != nil || st.closed {
 			st.mu.Unlock()
 			return
 		}
-		var fr *outFrame
-		retransmit := false
-		if st.resend < len(st.unacked) {
-			fr = st.unacked[st.resend]
-			st.resend++
-			retransmit = true
-			w.stats.retransmits.Add(1)
-		} else {
-			fr = st.queue[0]
-			st.queue = st.queue[1:]
-			if fr.kind == frameData {
-				fr.seq = st.nextSeq
-				st.nextSeq++
-				if w.cfg.Resilient {
-					if len(st.unacked) >= w.cfg.Res.RetransmitLimit {
-						st.mu.Unlock()
-						w.failStream(st, &mpi.RankError{Rank: st.dst, Err: fmt.Errorf(
-							"tcp: retransmit buffer overflow (%d frames) toward rank %d",
-							w.cfg.Res.RetransmitLimit, st.dst)})
-						return
-					}
-					st.unacked = append(st.unacked, fr)
-					st.resend = len(st.unacked)
-				}
-			}
-		}
+		overflow := b.collect(st, w.cfg.Resilient, w.cfg.Res.RetransmitLimit, maxData)
 		st.mu.Unlock()
+		if overflow {
+			w.failStream(st, &mpi.RankError{Rank: st.dst, Err: fmt.Errorf(
+				"tcp: retransmit buffer overflow (%d frames) toward rank %d",
+				w.cfg.Res.RetransmitLimit, st.dst)})
+			return
+		}
+		if b.nRetrans > 0 {
+			w.stats.retransmits.Add(uint64(b.nRetrans))
+		}
 
 		conn, epoch, err := lk.acquire(st.src)
 		if err != nil {
 			// Pair is terminally down; failPair has drained or will drain
-			// the stream. Complete this in-flight frame if it escaped.
-			w.completeFrame(st, fr, err)
+			// the stream. Complete any in-flight frames that escaped it.
+			w.releaseBatch(st, &b, err, true, false)
 			return
 		}
 
-		dup := false
-		if fr.kind == frameData && !retransmit && !fr.consulted && w.cfg.Faults != nil {
-			fr.consulted = true
-			op, d := w.cfg.Faults.FrameFault(st.src, st.dst)
-			switch op {
-			case mpi.FaultDelay:
-				select {
-				case <-time.After(d):
-				case <-w.closed:
+		st.mu.Lock()
+		stale := st.rewinds != b.rewinds
+		st.mu.Unlock()
+		if stale {
+			// A reconnect rewound the stream while this batch waited for the
+			// link: retransmissions now precede these frames in sequence
+			// order. Put the batch back (the frames already sit in unacked,
+			// below the rewound resend cursor) and re-collect.
+			w.releaseBatch(st, &b, nil, false, true)
+			continue
+		}
+
+		if maxData == 1 && len(b.frames) == 1 && b.nRetrans == 0 {
+			fr := b.frames[0]
+			if !fr.consulted {
+				fr.consulted = true
+				op, d := w.cfg.Faults.FrameFault(st.src, st.dst)
+				switch op {
+				case mpi.FaultDelay:
+					select {
+					case <-time.After(d):
+					case <-w.closed:
+					}
+				case mpi.FaultDropConn:
+					werr := fmt.Errorf("tcp: injected connection drop %d->%d", st.src, st.dst)
+					w.linkBroken(lk, epoch, werr)
+					if !w.cfg.Resilient {
+						w.releaseBatch(st, &b, &mpi.RankError{Rank: st.dst, Err: werr}, true, false)
+						return
+					}
+					// Frame sits in unacked; retransmitted after reconnect.
+					w.releaseBatch(st, &b, nil, false, true)
+					continue
+				case mpi.FaultDuplicate:
+					b.dup = true
 				}
-			case mpi.FaultDropConn:
-				w.linkBroken(lk, epoch, fmt.Errorf("tcp: injected connection drop %d->%d", st.src, st.dst))
-				if !w.cfg.Resilient {
-					w.completeFrame(st, fr, &mpi.RankError{Rank: st.dst,
-						Err: fmt.Errorf("tcp: injected connection drop %d->%d", st.src, st.dst)})
-					return
-				}
-				continue // frame sits in unacked; retransmitted after reconnect
-			case mpi.FaultDuplicate:
-				dup = true
 			}
 		}
 
-		werr := writeFrame(conn, fr)
-		if werr == nil {
-			w.countWrite(fr)
-		}
-		if werr == nil && dup {
-			werr = writeFrame(conn, fr)
-			if werr == nil {
-				w.countWrite(fr)
-			}
-		}
+		b.buildIovecs()
+		iov = b.iovecs
+		_, werr := iov.WriteTo(conn)
 		if werr != nil {
 			w.linkBroken(lk, epoch, werr)
 			if !w.cfg.Resilient {
-				w.completeFrame(st, fr, werr)
+				w.releaseBatch(st, &b, werr, true, false)
 				return
 			}
-			continue // retransmitted after reconnect (or failed terminally)
+			// Data frames stay in unacked and are retransmitted after the
+			// reconnect (or failed terminally); the ack is re-armed.
+			w.releaseBatch(st, &b, nil, false, true)
+			continue
 		}
-		if fr.kind == frameData {
-			w.completeFrame(st, fr, nil)
+		w.stats.writevs.Add(1)
+		frames := uint64(len(b.frames))
+		var bytes uint64
+		for _, fr := range b.frames {
+			bytes += uint64(len(fr.buf))
 		}
+		if b.dup && len(b.frames) > 0 {
+			frames++
+			bytes += uint64(len(b.frames[0].buf))
+		}
+		w.stats.framesSent.Add(frames)
+		w.stats.bytesSent.Add(bytes)
+		if b.haveAck {
+			w.stats.acksSent.Add(1)
+		}
+		w.releaseBatch(st, &b, nil, true, false)
 	}
-}
-
-// countWrite accounts one successfully written frame.
-func (w *World) countWrite(fr *outFrame) {
-	if fr.kind == frameData {
-		w.stats.framesSent.Add(1)
-		w.stats.bytesSent.Add(uint64(len(fr.buf)))
-	} else {
-		w.stats.acksSent.Add(1)
-	}
-}
-
-// completeFrame delivers the frame's completion exactly once.
-func (w *World) completeFrame(st *sendStream, fr *outFrame, err error) {
-	if fr == nil || fr.done == nil {
-		return
-	}
-	st.mu.Lock()
-	if !fr.completed {
-		fr.completed = true
-		fr.done <- err
-	}
-	st.mu.Unlock()
-}
-
-func writeFrame(conn net.Conn, fr *outFrame) error {
-	var hdr [headerLen]byte
-	hdr[0] = fr.kind
-	binary.LittleEndian.PutUint64(hdr[1:9], uint64(int64(fr.tag)))
-	binary.LittleEndian.PutUint64(hdr[9:17], fr.seq)
-	binary.LittleEndian.PutUint64(hdr[17:25], uint64(int64(len(fr.buf))))
-	if _, err := conn.Write(hdr[:]); err != nil {
-		return err
-	}
-	if len(fr.buf) == 0 {
-		return nil
-	}
-	_, err := conn.Write(fr.buf)
-	return err
 }
 
 // readLoop receives frames sent by peer p to rank r on one connection
 // epoch. Data frames pass the sequence cursor (duplicates are discarded and
-// re-acked), ack frames prune the reverse retransmit window.
+// re-acked), ack frames prune the reverse retransmit window. Payloads are
+// read into pooled buffers; the matcher returns each one once its bytes are
+// copied into the user's receive buffer.
 func (w *World) readLoop(r, p int, conn net.Conn, epoch int) {
 	defer w.wg.Done()
 	lk := w.linkFor(r, p)
 	st := w.streams[r][p]
 	m := w.matchers[r]
+	// hdr escapes through the net.Conn interface; declaring it outside the
+	// loop costs one heap allocation per connection instead of one per frame.
+	var hdr [headerLen]byte
 	for {
-		var hdr [headerLen]byte
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			w.linkBroken(lk, epoch, fmt.Errorf("tcp: rank %d reading from %d: %w", r, p, err))
 			return
@@ -1041,10 +1317,11 @@ func (w *World) readLoop(r, p int, conn net.Conn, epoch int) {
 		}
 		switch kind {
 		case frameAck:
-			st.ack(seq)
+			st.ack(seq, &w.pool)
 		case frameData:
-			payload := make([]byte, size)
+			payload := w.pool.get(size)
 			if _, err := io.ReadFull(conn, payload); err != nil {
+				w.pool.put(payload)
 				w.linkBroken(lk, epoch, fmt.Errorf("tcp: rank %d reading payload from %d: %w", r, p, err))
 				return
 			}
@@ -1056,11 +1333,13 @@ func (w *World) readLoop(r, p int, conn net.Conn, epoch int) {
 					// re-ack so the sender prunes its window.
 					next := st.recvNext
 					st.mu.Unlock()
+					w.pool.put(payload)
 					w.stats.dupDiscards.Add(1)
-					st.enqueueAck(next)
+					st.noteAck(next)
 					continue
 				case seq > st.recvNext:
 					st.mu.Unlock()
+					w.pool.put(payload)
 					w.hardFail(lk, epoch, fmt.Errorf(
 						"tcp: rank %d: sequence gap from %d: got %d want %d", r, p, seq, st.recvNext))
 					return
@@ -1069,7 +1348,7 @@ func (w *World) readLoop(r, p int, conn net.Conn, epoch int) {
 				next := st.recvNext
 				st.mu.Unlock()
 				m.deliver(matchKey{src: p, tag: tag}, payload)
-				st.enqueueAck(next)
+				st.noteAck(next)
 			} else {
 				m.deliver(matchKey{src: p, tag: tag}, payload)
 			}
@@ -1122,14 +1401,26 @@ func (m *matcher) fail(src int, err error) {
 	}
 }
 
-// deliver hands an arrived frame to a posted receive or queues it.
+// deliver hands an arrived frame to a posted receive or queues it. A
+// matched payload goes back to the pool the moment its bytes are copied
+// into the receiver's buffer; an unmatched one is retained in the arrived
+// queue and returned at post time.
 func (m *matcher) deliver(key matchKey, payload []byte) {
 	m.mu.Lock()
 	if q := m.posted[key]; len(q) > 0 {
 		op := q[0]
-		m.posted[key] = q[1:]
+		// Shift-down pop: the backing array keeps its capacity, so the
+		// append in post stops reallocating once the queue has reached its
+		// working size.
+		copy(q, q[1:])
+		q[len(q)-1] = nil
+		m.posted[key] = q[:len(q)-1]
 		m.mu.Unlock()
-		op.done <- copyPayload(op.buf, payload)
+		err := copyPayload(op.buf, payload)
+		if m.pool != nil {
+			m.pool.put(payload)
+		}
+		op.done <- err
 		return
 	}
 	m.arrived[key] = append(m.arrived[key], payload)
@@ -1142,9 +1433,15 @@ func (m *matcher) post(key matchKey, op *recvOp) {
 	m.mu.Lock()
 	if q := m.arrived[key]; len(q) > 0 {
 		payload := q[0]
-		m.arrived[key] = q[1:]
+		copy(q, q[1:])
+		q[len(q)-1] = nil
+		m.arrived[key] = q[:len(q)-1]
 		m.mu.Unlock()
-		op.done <- copyPayload(op.buf, payload)
+		err := copyPayload(op.buf, payload)
+		if m.pool != nil {
+			m.pool.put(payload)
+		}
+		op.done <- err
 		return
 	}
 	if err := m.srcErr[key.src]; err != nil {
@@ -1181,6 +1478,10 @@ func (c *comm) Kill() error { return c.w.KillRank(c.rank) }
 
 // OpDeadline returns the world's per-operation deadline (0 = none).
 func (c *comm) OpDeadline() time.Duration { return c.w.cfg.OpDeadline }
+
+// TransportStats snapshots the world's data-plane counters (shared by all
+// ranks of the in-process world).
+func (c *comm) TransportStats() Stats { return c.w.stats.snapshot() }
 
 type chanRequest struct{ done chan error }
 
@@ -1222,8 +1523,9 @@ func (c *comm) isend(buf []byte, dst, tag int) mpi.Request {
 		return errRequest{&mpi.RankError{Rank: dst, Err: err}}
 	}
 	if dst == c.rank {
-		// Self-send: loop through the matcher directly.
-		payload := append([]byte(nil), buf...)
+		// Self-send: loop through the matcher directly, via a pooled copy.
+		payload := c.w.pool.get(len(buf))
+		copy(payload, buf)
 		c.w.matchers[c.rank].deliver(matchKey{src: c.rank, tag: tag}, payload)
 		return errRequest{nil}
 	}
@@ -1235,12 +1537,16 @@ func (c *comm) isend(buf []byte, dst, tag int) mpi.Request {
 		return errRequest{err}
 	}
 	data := buf
+	poolable := false
 	if c.w.cfg.Resilient && len(buf) > 0 {
 		// Copy: the frame may be retransmitted after the caller's request
-		// completed and the caller reused its buffer.
-		data = append([]byte(nil), buf...)
+		// completed and the caller reused its buffer. The copy comes from
+		// the payload pool and goes back when the cumulative ack retires it.
+		data = c.w.pool.get(len(buf))
+		copy(data, buf)
+		poolable = true
 	}
-	fr := &outFrame{kind: frameData, tag: tag, buf: data, done: make(chan error, 1)}
+	fr := &outFrame{kind: frameData, tag: tag, buf: data, done: make(chan error, 1), poolable: poolable}
 	st.queue = append(st.queue, fr)
 	st.cond.Signal()
 	st.mu.Unlock()
@@ -1261,9 +1567,9 @@ func (c *comm) irecv(buf []byte, src, tag int) mpi.Request {
 	if err := c.w.rankDead(c.rank); err != nil {
 		return errRequest{&mpi.RankError{Rank: c.rank, Err: err}}
 	}
-	op := &recvOp{buf: buf, done: make(chan error, 1)}
+	op := c.w.recvOps.get(buf)
 	c.w.matchers[c.rank].post(matchKey{src: src, tag: tag}, op)
-	return chanRequest{done: op.done}
+	return op
 }
 
 func (c *comm) Irecv(buf []byte, src, tag int) mpi.Request {

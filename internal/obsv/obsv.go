@@ -125,8 +125,12 @@ type Event struct {
 type Recorder struct {
 	rank int
 
-	mu     sync.Mutex
-	events []Event
+	mu sync.Mutex
+	// chunks stores events in fixed-size blocks: appending never copies the
+	// history (no slice-doubling), so the steady-state cost of record is one
+	// in-place append, with one chunk allocation per eventChunkSize events.
+	chunks  [][]Event
+	nEvents int
 
 	counters Counters
 
@@ -164,7 +168,14 @@ func (r *Recorder) Events() []Event {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]Event(nil), r.events...)
+	if r.nEvents == 0 {
+		return nil
+	}
+	out := make([]Event, 0, r.nEvents)
+	for _, ch := range r.chunks {
+		out = append(out, ch...)
+	}
+	return out
 }
 
 // NumEvents returns the number of recorded events.
@@ -174,8 +185,12 @@ func (r *Recorder) NumEvents() int {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.events)
+	return r.nEvents
 }
+
+// eventChunkSize is the block size of the recorder's event storage: one
+// allocation per this many events on the record path.
+const eventChunkSize = 256
 
 // record appends an event and feeds the derived histograms and byte tallies.
 func (r *Recorder) record(e Event) {
@@ -184,10 +199,18 @@ func (r *Recorder) record(e Event) {
 	}
 	ns := uint64((e.End - e.Start) * 1e9)
 	r.mu.Lock()
-	if r.events == nil {
-		r.events = make([]Event, 0, 64)
+	if k := len(r.chunks); k == 0 || len(r.chunks[k-1]) == cap(r.chunks[k-1]) {
+		// The first chunk is small — a single alltoall records on the order
+		// of 64 events per rank — later chunks use the full block size.
+		size := 64
+		if k > 0 {
+			size = eventChunkSize
+		}
+		r.chunks = append(r.chunks, make([]Event, 0, size))
 	}
-	r.events = append(r.events, e)
+	last := len(r.chunks) - 1
+	r.chunks[last] = append(r.chunks[last], e)
+	r.nEvents++
 	switch e.Kind {
 	case KindSend:
 		r.sendWait.Observe(ns)
