@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build build-obsv-off test race alloc-gates bench bench-sim bench-transport microbench fuzz
+.PHONY: check vet lint build build-obsv-off test race alloc-gates bench bench-sim bench-transport microbench fuzz
 
-# check is the one-command gate: static analysis, full build (with and
-# without the observability layer), the test suite under the race
-# detector, and the allocation-regression gates (which need a race-free
-# build: the race runtime drops sync.Pool puts).
-check: vet build build-obsv-off race alloc-gates
+# check is the one-command gate: static analysis (stock vet plus the
+# project analyzers in cmd/aapcvet), full build (with and without the
+# observability layer), the test suite under the race detector, and the
+# allocation-regression gates (which need a race-free build: the race
+# runtime drops sync.Pool puts).
+check: vet lint build build-obsv-off race alloc-gates
 
 # alloc-gates are the steady-state allocation budgets for the hot paths:
 # zero allocs per Scheduled.Fn run and amortized sub-0.1 allocs per
@@ -17,6 +18,16 @@ alloc-gates:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the project-specific analyzers (poolsafe, determinism,
+# waitcheck, noalloc, shadow, copylocks, loopclosure) over both build
+# configurations via the go vet -vettool protocol. Suppress a deliberate
+# violation with an //aapc:allow <analyzer> <reason> comment on (or one
+# line above) the flagged line.
+lint:
+	$(GO) build -o bin/aapcvet ./cmd/aapcvet
+	$(GO) vet -vettool=$(abspath bin/aapcvet) ./...
+	$(GO) vet -vettool=$(abspath bin/aapcvet) -tags obsv_off ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,17 @@
+// Command aapcvet is the repo's static-analysis tool, run through the
+// standard vet driver:
+//
+//	go build -o bin/aapcvet ./cmd/aapcvet
+//	go vet -vettool=$PWD/bin/aapcvet ./...
+//
+// It enforces the project invariants (poolsafe, determinism, waitcheck,
+// noalloc) plus ports of the stock shadow, copylocks, and loopclosure
+// passes. Individual analyzers are disabled with -<name>=false; single
+// findings are suppressed in source with //aapc:allow <name> <reason>.
+package main
+
+import "github.com/aapc-sched/aapcsched/internal/analysis"
+
+func main() {
+	analysis.Main(analysis.Suite()...)
+}

@@ -93,11 +93,13 @@ func (sc *Scheduled) AllgatherFn() Func {
 		if sc.mode == BarrierSync {
 			for ; phase < prog.numPhases-1; phase++ {
 				if err := c.Barrier(); err != nil {
+					//aapc:allow waitcheck on error the collective aborts; outstanding requests are abandoned to the transport shutdown path
 					return err
 				}
 			}
 		}
 		if err := mpi.WaitAll(recvReqs); err != nil {
+			//aapc:allow waitcheck on error the collective aborts; outstanding requests are abandoned to the transport shutdown path
 			return err
 		}
 		return mpi.WaitAll(syncSends)

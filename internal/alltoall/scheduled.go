@@ -267,6 +267,7 @@ func (sc *Scheduled) Fn() Func { return sc.FnTimeout(0) }
 // after an error, a timed-out receive may still hold the scratch's sync
 // buffer, so the whole scratch is abandoned to the garbage collector.
 func (sc *Scheduled) FnTimeout(d time.Duration) Func {
+	//aapc:noalloc the per-run closure is the steady-state hot path (see alloc gates)
 	return func(c mpi.Comm, b Buffers, msize int) error {
 		if c.Size() != len(sc.programs) {
 			return fmt.Errorf("alltoall: routine compiled for %d ranks, world has %d",
@@ -299,6 +300,7 @@ func (sc *Scheduled) FnTimeout(d time.Duration) Func {
 				// Enter the send's phase, barrier-separated.
 				for phase < st.phase {
 					if err := c.Barrier(); err != nil {
+						//aapc:allow waitcheck on error the collective aborts; outstanding requests are abandoned to the transport shutdown path
 						return err
 					}
 					phase++
@@ -314,6 +316,7 @@ func (sc *Scheduled) FnTimeout(d time.Duration) Func {
 					waitStart = c.Now()
 				}
 				if err := mpi.RecvTimeout(c, scr.waitByte[:], w.peer, w.tag, d); err != nil {
+					//aapc:allow waitcheck on error the collective aborts; outstanding requests are abandoned to the transport shutdown path
 					return fmt.Errorf("alltoall: phase %d sync wait from %d: %w", st.phase, w.peer, err)
 				}
 				if marker != nil {
@@ -321,6 +324,7 @@ func (sc *Scheduled) FnTimeout(d time.Duration) Func {
 				}
 			}
 			if err := mpi.SendTimeout(c, b.SendBlock(st.dst), st.dst, tagData, d); err != nil {
+				//aapc:allow waitcheck on error the collective aborts; outstanding requests are abandoned to the transport shutdown path
 				return fmt.Errorf("alltoall: send phase %d to %d: %w", st.phase, st.dst, err)
 			}
 			for _, e := range prog.emits[st.emitLo:st.emitHi] {
@@ -332,11 +336,13 @@ func (sc *Scheduled) FnTimeout(d time.Duration) Func {
 			// their last send.
 			for ; phase < prog.numPhases-1; phase++ {
 				if err := c.Barrier(); err != nil {
+					//aapc:allow waitcheck on error the collective aborts; outstanding requests are abandoned to the transport shutdown path
 					return err
 				}
 			}
 		}
 		if err := mpi.WaitAllTimeout(recvReqs, d); err != nil {
+			//aapc:allow waitcheck on error the collective aborts; outstanding requests are abandoned to the transport shutdown path
 			return fmt.Errorf("alltoall: data receive: %w", err)
 		}
 		if err := mpi.WaitAllTimeout(syncSends, d); err != nil {

@@ -183,11 +183,13 @@ func (sc *Scheduled) FnV() VFunc {
 		if sc.mode == BarrierSync {
 			for ; phase < prog.numPhases-1; phase++ {
 				if err := c.Barrier(); err != nil {
+					//aapc:allow waitcheck on error the collective aborts; outstanding requests are abandoned to the transport shutdown path
 					return err
 				}
 			}
 		}
 		if err := mpi.WaitAll(recvReqs); err != nil {
+			//aapc:allow waitcheck on error the collective aborts; outstanding requests are abandoned to the transport shutdown path
 			return err
 		}
 		return mpi.WaitAll(syncSends)

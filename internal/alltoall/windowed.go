@@ -33,6 +33,7 @@ func Windowed(window int) Func {
 			p := (me + off) % n
 			if len(inFlight) == window {
 				if err := inFlight[0].Wait(); err != nil {
+					//aapc:allow waitcheck on error the collective aborts; outstanding requests are abandoned to the transport shutdown path
 					return err
 				}
 				inFlight = inFlight[1:]
@@ -40,6 +41,7 @@ func Windowed(window int) Func {
 			inFlight = append(inFlight, c.Isend(b.SendBlock(p), p, tagData))
 		}
 		if err := mpi.WaitAll(inFlight); err != nil {
+			//aapc:allow waitcheck on error the collective aborts; outstanding requests are abandoned to the transport shutdown path
 			return err
 		}
 		return mpi.WaitAll(recvReqs)

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression comment. The full form is
+//
+//	//aapc:allow analyzer1 analyzer2 (free-form reason)
+//
+// placed on the flagged line or the line directly above it. Analyzer names
+// are read up to the first token that is not a registered analyzer name;
+// the rest of the line is the human reason and is ignored by the machinery.
+const allowPrefix = "aapc:allow"
+
+// knownAllowNames is populated from the suite so free-text reasons are never
+// mistaken for analyzer names.
+var knownAllowNames = map[string]bool{}
+
+func init() {
+	for _, a := range Suite() {
+		knownAllowNames[a.Name] = true
+	}
+}
+
+// allowIndex maps file name -> line -> set of allowed analyzer names.
+type allowIndex map[string]map[int]map[string]bool
+
+// buildAllowIndex scans every comment in the files for suppression markers.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := make(allowIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, allowPrefix)
+				names := parseAllowNames(rest)
+				if len(names) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					lines[pos.Line] = set
+				}
+				for _, n := range names {
+					set[n] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// parseAllowNames extracts the leading analyzer-name tokens of a suppression
+// comment's tail.
+func parseAllowNames(rest string) []string {
+	var names []string
+	for _, tok := range strings.Fields(rest) {
+		if !knownAllowNames[tok] {
+			break
+		}
+		names = append(names, tok)
+	}
+	return names
+}
+
+// allows reports whether a diagnostic of the named analyzer at pos is
+// suppressed: an allow comment for it sits on the same line or the line
+// above.
+func (idx allowIndex) allows(pos token.Position, analyzer string) bool {
+	lines := idx[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range [2]int{pos.Line, pos.Line - 1} {
+		if set := lines[l]; set != nil && set[analyzer] {
+			return true
+		}
+	}
+	return false
+}

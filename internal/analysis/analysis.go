@@ -1,0 +1,175 @@
+// Package analysis is the repo's static-analysis suite: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// model (Analyzer, Pass, Diagnostic) plus the project-specific analyzers
+// that enforce invariants the runtime gates can only sample:
+//
+//   - poolsafe: pooled payloads must not be used after release;
+//   - determinism: replay-sensitive packages must not consult wall clocks,
+//     global randomness, or map iteration order;
+//   - waitcheck: every request returned by Isend/Irecv must reach a Wait on
+//     every path, including error paths;
+//   - noalloc: functions annotated //aapc:noalloc must not contain
+//     allocating constructs outside cold (early-exit) paths;
+//
+// together with lightweight ports of the stock vet passes the repo does not
+// get by default (shadow, copylocks, loopclosure).
+//
+// The framework is built on the standard library's go/ast and go/types
+// only. The build environment pins no external modules, so rather than
+// depending on golang.org/x/tools this package re-derives the two pieces it
+// needs: the analyzer/pass model (this file) and the `go vet -vettool`
+// unit-checker protocol (unitchecker.go).
+//
+// Findings are suppressed with a comment on the flagged line or the line
+// above it:
+//
+//	//aapc:allow <analyzer>... [reason]
+//
+// The reason is free text; the convention is to state why the invariant
+// holds anyway (e.g. "results are keyed by job index").
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Analyzer is one named pass over a type-checked package.
+type Analyzer struct {
+	// Name is the analyzer's identifier: flag name, suppression token, and
+	// diagnostic tag.
+	Name string
+	// Doc is the one-line description shown in usage output.
+	Doc string
+	// SkipTests excludes _test.go files from the pass (used by analyzers
+	// whose invariants only bind production code, like determinism).
+	SkipTests bool
+	// AppliesTo, when non-nil, restricts the pass to packages for which it
+	// returns true (matched against the package's import path).
+	AppliesTo func(pkgPath string) bool
+	// Run reports findings through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's syntax trees. When the analyzer sets
+	// SkipTests, _test.go files are already filtered out.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// PkgPath is the import path the package was loaded under.
+	PkgPath string
+	// GoVersion is the module's language version ("go1.22"); version-gated
+	// analyzers (loopclosure) consult it.
+	GoVersion string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// ObjectOf resolves an identifier through Uses then Defs.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Info.ObjectOf(id) }
+
+// TypeOf returns the type of an expression, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// PackageInfo is a loaded, type-checked package handed to the runner by a
+// front end (the unitchecker or the test harness).
+type PackageInfo struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	Info      *types.Info
+	PkgPath   string
+	GoVersion string
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers consult.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// isTestFile reports whether the file's name has the _test.go suffix.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go")
+}
+
+// Run executes the analyzers over the package and returns the surviving
+// diagnostics: suppressed findings (see allow.go) are dropped, and the rest
+// are sorted by position.
+func Run(pkg *PackageInfo, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allow := buildAllowIndex(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if a.AppliesTo != nil && !a.AppliesTo(pkg.PkgPath) {
+			continue
+		}
+		files := pkg.Files
+		if a.SkipTests {
+			files = nil
+			for _, f := range pkg.Files {
+				if !isTestFile(pkg.Fset, f) {
+					files = append(files, f)
+				}
+			}
+		}
+		if len(files) == 0 {
+			continue
+		}
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     files,
+			Pkg:       pkg.Pkg,
+			Info:      pkg.Info,
+			PkgPath:   pkg.PkgPath,
+			GoVersion: pkg.GoVersion,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for _, d := range diags {
+			if !allow.allows(pkg.Fset.Position(d.Pos), a.Name) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Copylocks reports copies of values whose type transitively contains a
+// synchronization primitive (anything defined in package sync or
+// sync/atomic): value receivers, by-value arguments, assignments from an
+// existing value, by-value range variables, and by-value returns. The tcp
+// transport and the simulator both embed mutexes and atomics in long-lived
+// structs; copying one forks its lock state silently.
+var Copylocks = &Analyzer{
+	Name: "copylocks",
+	Doc:  "reports by-value copies of types containing sync primitives",
+	Run:  runCopylocks,
+}
+
+// containsLock reports whether a value of type t embeds a sync primitive by
+// value. seen guards recursive types.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync", "sync/atomic":
+				// sync.Locker et al. are interfaces — copying an interface
+				// value is fine; every struct in sync/atomic is a no-copy.
+				if _, isIface := named.Underlying().(*types.Interface); !isIface {
+					return true
+				}
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+func lockish(t types.Type) bool {
+	return containsLock(t, map[types.Type]bool{})
+}
+
+// copiesValue reports whether the expression denotes an existing value
+// (rather than a freshly constructed one), so assigning or passing it
+// copies.
+func copiesValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return copiesValue(e.X)
+	}
+	return false
+}
+
+func runCopylocks(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					for _, f := range n.Recv.List {
+						if t := pass.TypeOf(f.Type); t != nil && !isPointer(t) && lockish(t) {
+							pass.Reportf(f.Type.Pos(), "value receiver copies lock: %s contains a sync primitive; use a pointer receiver", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) && len(n.Rhs) != 1 {
+						break
+					}
+					if !copiesValue(rhs) {
+						continue
+					}
+					if t := pass.TypeOf(rhs); t != nil && !isPointer(t) && lockish(t) {
+						pass.Reportf(rhs.Pos(), "assignment copies lock value: %s contains a sync primitive", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					if !copiesValue(arg) {
+						continue
+					}
+					if t := pass.TypeOf(arg); t != nil && !isPointer(t) && lockish(t) {
+						pass.Reportf(arg.Pos(), "call passes lock by value: %s contains a sync primitive", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := pass.TypeOf(n.Value); t != nil && !isPointer(t) && lockish(t) {
+						pass.Reportf(n.Value.Pos(), "range copies lock value: %s contains a sync primitive; range over indices", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if !copiesValue(res) {
+						continue
+					}
+					if t := pass.TypeOf(res); t != nil && !isPointer(t) && lockish(t) {
+						pass.Reportf(res.Pos(), "return copies lock value: %s contains a sync primitive", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isPointer(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// Loopclosure reports references to loop variables from within go/defer
+// function literals — the classic pre-go1.22 capture bug. From go1.22 each
+// iteration gets a fresh variable, so the pass gates itself on the module's
+// language version and is a no-op for this repo; it stays in the suite so
+// the tree is protected if the module version is ever lowered (and so older
+// vendored snippets are checked with the corpus harness).
+var Loopclosure = &Analyzer{
+	Name: "loopclosure",
+	Doc:  "reports loop-variable captures in go/defer literals (pre-go1.22 semantics)",
+	Run:  runLoopclosure,
+}
+
+// loopVarPerIteration reports whether the configured language version gives
+// each loop iteration its own variable (go1.22+). Unknown versions are
+// assumed current.
+func loopVarPerIteration(goVersion string) bool {
+	v := strings.TrimPrefix(goVersion, "go")
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) < 2 {
+		return true
+	}
+	major, err1 := strconv.Atoi(parts[0])
+	minor, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return true
+	}
+	return major > 1 || (major == 1 && minor >= 22)
+}
+
+func runLoopclosure(pass *Pass) error {
+	if loopVarPerIteration(pass.GoVersion) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var vars []*ast.Ident
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				if post, ok := n.Post.(*ast.IncDecStmt); ok {
+					if id, ok := post.X.(*ast.Ident); ok {
+						vars = append(vars, id)
+					}
+				}
+				body = n.Body
+			case *ast.RangeStmt:
+				if id, ok := n.Key.(*ast.Ident); ok && id.Name != "_" {
+					vars = append(vars, id)
+				}
+				if id, ok := n.Value.(*ast.Ident); ok && id.Name != "_" {
+					vars = append(vars, id)
+				}
+				body = n.Body
+			default:
+				return true
+			}
+			if len(vars) == 0 || body == nil {
+				return true
+			}
+			checkLoopBody(pass, vars, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLoopBody flags references to the loop variables inside literals that
+// outlive the iteration: go statements and defers.
+func checkLoopBody(pass *Pass, vars []*ast.Ident, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var lit *ast.FuncLit
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			lit, _ = n.Call.Fun.(*ast.FuncLit)
+		case *ast.DeferStmt:
+			lit, _ = n.Call.Fun.(*ast.FuncLit)
+		default:
+			return true
+		}
+		if lit == nil {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			for _, v := range vars {
+				if pass.ObjectOf(id) != nil && pass.ObjectOf(id) == pass.ObjectOf(v) {
+					pass.Reportf(id.Pos(), "loop variable %s captured by func literal (per-loop variable before go1.22)", id.Name)
+				}
+			}
+			return true
+		})
+		return true
+	})
+}

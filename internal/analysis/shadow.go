@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Shadow is a conservative port of the x/tools shadow pass: it reports a
+// short variable declaration that redeclares a name from an enclosing
+// function scope when the shadow is likely to bite — the types are
+// identical (so a misspelled `=` vs `:=` compiles silently) and the outer
+// variable is still used after the inner scope ends.
+//
+// Two idiomatic shapes the stock pass drowns in are deliberately exempt:
+//
+//   - the guard clause `if err := f(); err != nil { ... }` (and for/switch
+//     init statements), where the inner value is consumed inside the guard;
+//   - multi-name declarations like `n, err := f()` that introduce at least
+//     one genuinely new variable, where := was the only way to write it.
+//
+// What remains is the lost-error shape: a plain block-level `err := f()`
+// whose result the author believed updated the outer err.
+var Shadow = &Analyzer{
+	Name: "shadow",
+	Doc:  "reports shadowed variables whose outer binding is used after the shadow's scope",
+	Run:  runShadow,
+}
+
+func runShadow(pass *Pass) error {
+	// span of each object: the extent of its uses.
+	spans := map[types.Object]token.Pos{}
+	grow := func(obj types.Object, pos token.Pos) {
+		if obj == nil {
+			return
+		}
+		if end, ok := spans[obj]; !ok || pos > end {
+			spans[obj] = pos
+		}
+	}
+	for id, obj := range pass.Info.Uses {
+		grow(obj, id.End())
+	}
+	for id, obj := range pass.Info.Defs {
+		grow(obj, id.End())
+	}
+
+	for _, file := range pass.Files {
+		parents := buildParentsOf(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok || asg.Tok != token.DEFINE {
+				return true
+			}
+			if isInitClause(parents, asg) {
+				return true
+			}
+			var defs []*ast.Ident
+			for _, lhs := range asg.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if pass.Info.Defs[id] != nil {
+					defs = append(defs, id)
+				}
+			}
+			// If the statement introduces more names than it shadows, the :=
+			// was required and the shadow is the standard idiom.
+			shadowing := 0
+			for _, id := range defs {
+				if shadowsOuter(pass, pass.Info.Defs[id], id) {
+					shadowing++
+				}
+			}
+			if shadowing == 0 || shadowing < len(defs) {
+				return true
+			}
+			for _, id := range defs {
+				checkShadow(pass, spans, id, pass.Info.Defs[id])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isInitClause reports whether asg is the init statement of an
+// if/for/switch, or the receive of a select case — the guard-clause idioms
+// whose inner value is consumed within the clause.
+func isInitClause(parents map[ast.Node]ast.Node, asg *ast.AssignStmt) bool {
+	switch p := parents[asg].(type) {
+	case *ast.IfStmt:
+		return p.Init == ast.Stmt(asg)
+	case *ast.ForStmt:
+		return p.Init == ast.Stmt(asg)
+	case *ast.SwitchStmt:
+		return p.Init == ast.Stmt(asg)
+	case *ast.TypeSwitchStmt:
+		return p.Init == ast.Stmt(asg)
+	case *ast.CommClause:
+		return p.Comm == ast.Stmt(asg)
+	}
+	return false
+}
+
+// shadowsOuter reports whether the definition redeclares a same-typed
+// function-scoped variable from an enclosing scope.
+func shadowsOuter(pass *Pass, obj types.Object, id *ast.Ident) bool {
+	inner := obj.Parent()
+	if inner == nil || inner.Parent() == nil {
+		return false
+	}
+	_, outerObj := inner.Parent().LookupParent(id.Name, id.Pos())
+	outer, ok := outerObj.(*types.Var)
+	if !ok {
+		return false
+	}
+	outerScope := outer.Parent()
+	if outerScope == nil || outerScope == types.Universe || outerScope == pass.Pkg.Scope() {
+		return false
+	}
+	return types.Identical(obj.Type(), outer.Type())
+}
+
+func checkShadow(pass *Pass, spans map[types.Object]token.Pos, id *ast.Ident, obj types.Object) {
+	inner := obj.Parent()
+	if inner == nil || inner.Parent() == nil {
+		return
+	}
+	_, outerObj := inner.Parent().LookupParent(id.Name, id.Pos())
+	outer, ok := outerObj.(*types.Var)
+	if !ok {
+		return
+	}
+	outerScope := outer.Parent()
+	if outerScope == nil || outerScope == types.Universe || outerScope == pass.Pkg.Scope() {
+		return // package-level and universe shadows are deliberate style here
+	}
+	if !types.Identical(obj.Type(), outer.Type()) {
+		return // different types: := was the only way to write it
+	}
+	// Only report when the outer variable is used after the inner scope
+	// closes — otherwise the shadow cannot change behavior.
+	if spans[outer] <= inner.End() {
+		return
+	}
+	pass.Reportf(id.Pos(), "declaration of %q shadows declaration at line %d; the outer variable is used after this scope",
+		id.Name, pass.Fset.Position(outer.Pos()).Line)
+}

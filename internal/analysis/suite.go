@@ -1,0 +1,15 @@
+package analysis
+
+// Suite returns every analyzer enforced by aapcvet, in report order: the
+// four project invariants first, then the stock-style safety passes.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		Poolsafe,
+		Determinism,
+		Waitcheck,
+		Noalloc,
+		Shadow,
+		Copylocks,
+		Loopclosure,
+	}
+}

@@ -1,0 +1,52 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/aapc-sched/aapcsched/internal/analysis"
+	"github.com/aapc-sched/aapcsched/internal/analysis/analysistest"
+)
+
+// Each analyzer runs over a corpus under testdata/src containing both
+// violations (annotated `// want`) and clean idioms, including
+// //aapc:allow suppressions which must silence the finding.
+
+func TestPoolsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Poolsafe, "poolsafe")
+}
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Determinism, "simnet")
+}
+
+// TestDeterminismScope proves the analyzer keeps out of packages that are
+// not replay-sensitive: the corpus reads wall clocks and iterates maps.
+func TestDeterminismScope(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Determinism, "other")
+}
+
+func TestWaitcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Waitcheck, "waitcheck")
+}
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Noalloc, "noalloc")
+}
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Shadow, "shadow")
+}
+
+func TestCopylocks(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Copylocks, "copylocks")
+}
+
+func TestLoopclosure(t *testing.T) {
+	analysistest.RunWithVersion(t, "testdata", analysis.Loopclosure, "loopclosure", "go1.21")
+}
+
+// TestLoopclosureVersionGate proves the pass is silent under go1.22
+// per-iteration loop-variable semantics.
+func TestLoopclosureVersionGate(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Loopclosure, "loopclosure122")
+}

@@ -1,0 +1,74 @@
+// Corpus for the copylocks analyzer: by-value copies of types containing
+// sync primitives.
+package copylocks
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type stats struct{ hits atomic.Int64 }
+
+func use(n int) {}
+
+func takes(c counter) int { return c.n }
+
+func (c counter) badReceiver() int { // want `value receiver copies lock`
+	return c.n
+}
+
+func (c *counter) goodReceiver() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func assignCopy(c *counter) {
+	snapshot := *c // want `assignment copies lock value`
+	use(snapshot.n)
+}
+
+func callCopy(c *counter) int {
+	return takes(*c) // want `call passes lock by value`
+}
+
+func rangeCopy(cs []counter) int {
+	total := 0
+	for _, c := range cs { // want `range copies lock value`
+		total += c.n
+	}
+	return total
+}
+
+func returnCopy(s *stats) stats {
+	return *s // want `return copies lock value`
+}
+
+func rangePointers(cs []*counter) int {
+	total := 0
+	for _, c := range cs { // ok: pointers don't copy the lock
+		total += c.n
+	}
+	return total
+}
+
+func freshValue() counter {
+	return counter{} // ok: constructing a new value is not a copy
+}
+
+func plainStruct() {
+	type point struct{ x, y int }
+	p := point{1, 2}
+	q := p // ok: no sync primitive inside
+	use(q.x + q.y)
+}
+
+func suppressedCopy(c *counter) {
+	snapshot := *c //aapc:allow copylocks snapshot taken before the counter is shared
+	use(snapshot.n)
+}

@@ -1,0 +1,44 @@
+// Corpus for the loopclosure analyzer, checked under go1.21 semantics where
+// all iterations share one loop variable.
+package loopclosure
+
+func spawnAll(xs []int, out chan int) {
+	for _, x := range xs {
+		go func() {
+			out <- x // want `loop variable x captured by func literal`
+		}()
+	}
+}
+
+func deferredAll(names []string, sink func(string)) {
+	for i := range names {
+		defer func() {
+			sink(names[i]) // want `loop variable i captured by func literal`
+		}()
+	}
+}
+
+func indexed(n int, out chan int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			out <- i // want `loop variable i captured by func literal`
+		}()
+	}
+}
+
+func rebound(xs []int, out chan int) {
+	for _, x := range xs {
+		x := x //aapc:allow shadow per-iteration copy, the point of the idiom
+		go func() {
+			out <- x // ok: rebound inside the iteration
+		}()
+	}
+}
+
+func passedAsArg(xs []int, out chan int) {
+	for _, x := range xs {
+		go func(v int) {
+			out <- v // ok: the loop variable is passed by value
+		}(x)
+	}
+}

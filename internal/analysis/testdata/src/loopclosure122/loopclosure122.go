@@ -1,0 +1,11 @@
+// Corpus proving the loopclosure analyzer is version-gated: under go1.22
+// semantics every iteration owns its variable, so nothing is reported.
+package loopclosure122
+
+func spawnAll(xs []int, out chan int) {
+	for _, x := range xs {
+		go func() {
+			out <- x // ok under go1.22: per-iteration variable
+		}()
+	}
+}

@@ -1,0 +1,17 @@
+// Corpus proving the determinism analyzer is scoped: this package is not
+// replay-sensitive, so wall clocks and map iteration pass untouched.
+package other
+
+import "time"
+
+func wallClockIsFine() time.Time {
+	return time.Now() // ok: package is outside the determinism scope
+}
+
+func mapIterationIsFine(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,85 @@
+// Corpus for the shadow analyzer: same-type redeclarations whose outer
+// binding is still used after the inner scope.
+package shadow
+
+func setup() error            { return nil }
+func touch(x int) error       { return nil }
+func observe(total int)       {}
+
+func shadowed(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		if x > 0 {
+			total := total + x // want `declaration of "total" shadows declaration at line \d+`
+			observe(total)
+		}
+	}
+	return total
+}
+
+func suppressedShadow(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		if x > 0 {
+			total := total * x //aapc:allow shadow deliberate local rebind for the observation
+			observe(total)
+		}
+	}
+	return total
+}
+
+func noShadow(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		sum := x * 2
+		total += sum
+	}
+	return total
+}
+
+func outerDeadAfterInner(xs []int) {
+	err := setup()
+	if err != nil {
+		return
+	}
+	for _, x := range xs {
+		err := touch(x) // ok: the outer err is never read after this scope
+		_ = err
+	}
+}
+
+func fetch() (int, error) { return 0, nil }
+
+func guardClauseIdiom(xs []int) error {
+	err := setup()
+	if err != nil {
+		return err
+	}
+	for _, x := range xs {
+		if err := touch(x); err != nil { // ok: guard clause, inner err consumed in the if
+			return err
+		}
+	}
+	return err
+}
+
+func multiNameIdiom(xs []int) error {
+	err := setup()
+	for range xs {
+		n, err := fetch() // ok: := was required to introduce n
+		if err != nil {
+			return err
+		}
+		observe(n)
+	}
+	return err
+}
+
+func differentType() {
+	v := 0
+	{
+		v := "s" // ok: different type, := was the only way to write it
+		_ = v
+	}
+	observe(v)
+}

@@ -1,0 +1,53 @@
+// Corpus for the determinism analyzer. The package is named simnet so it
+// falls inside the analyzer's replay-sensitive scope.
+package simnet
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func globalRand() int {
+	return rand.Intn(4) // want `global rand\.Intn is shared, unseeded randomness`
+}
+
+func seededRand(r *rand.Rand) int {
+	return r.Intn(4) // ok: methods on a seeded *rand.Rand are the sanctioned source
+}
+
+func virtualDelay(ticks int64) time.Duration {
+	return time.Duration(ticks) * time.Microsecond // ok: arithmetic on durations is fine
+}
+
+func mapOrder(m map[int]int) int {
+	sum := 0
+	for k := range m { // want `map iteration order is nondeterministic`
+		sum += k
+	}
+	return sum
+}
+
+func sortedOrder(keys []int, m map[int]int) int {
+	sum := 0
+	for _, k := range keys { // ok: slice iteration is ordered
+		sum += m[k]
+	}
+	return sum
+}
+
+func spawn(ch chan int) {
+	go func() { ch <- 1 }() // want `goroutine spawn in a replay-sensitive package`
+}
+
+func spawnKeyed(ch chan int) {
+	//aapc:allow determinism result is keyed by its channel slot
+	go func() { ch <- 1 }()
+}

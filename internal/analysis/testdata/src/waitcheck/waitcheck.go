@@ -1,0 +1,94 @@
+// Corpus for the waitcheck analyzer: request lifecycle of Isend/Irecv.
+package waitcheck
+
+import "errors"
+
+type Request struct{ done bool }
+
+func (r *Request) Wait() error { return nil }
+
+type Comm struct{}
+
+func (c *Comm) Isend(buf []byte, dst int) *Request { return &Request{} }
+func (c *Comm) Irecv(buf []byte, src int) *Request { return &Request{} }
+
+func waitAll(reqs []*Request) error {
+	for _, r := range reqs {
+		if err := r.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func prepare(i int) error { return nil }
+
+func timedOut(buf []byte) bool { return len(buf) == 0 }
+
+func chainedWait(c *Comm, buf []byte) error {
+	return c.Isend(buf, 1).Wait() // ok: waited immediately
+}
+
+func discarded(c *Comm, buf []byte) {
+	_ = c.Isend(buf, 1) // want `result of Isend is discarded; the request is never waited`
+}
+
+func dropped(c *Comm, buf []byte) {
+	c.Irecv(buf, 0) // want `result of Irecv is discarded; the request is never waited`
+}
+
+func neverWaited(c *Comm, buf []byte) {
+	var reqs []*Request
+	reqs = append(reqs, c.Isend(buf, 1)) // want `request stored in "reqs" is never waited`
+	reqs = reqs[:0]
+}
+
+func earlyReturnLeak(c *Comm, buf []byte, n int) error {
+	var reqs []*Request
+	for i := 0; i < n; i++ {
+		reqs = append(reqs, c.Irecv(buf, i))
+		if err := prepare(i); err != nil {
+			return err // want `return leaks request\(s\) in "reqs" acquired at line \d+ without a Wait on this path`
+		}
+	}
+	return waitAll(reqs)
+}
+
+func guardedReturn(c *Comm, buf []byte, n int) error {
+	var reqs []*Request
+	for i := 0; i < n; i++ {
+		reqs = append(reqs, c.Irecv(buf, i))
+	}
+	if err := waitAll(reqs); err != nil {
+		return err // ok: the wait happened in this statement's init
+	}
+	return nil
+}
+
+func singleTracked(c *Comm, buf []byte) error {
+	r := c.Isend(buf, 1)
+	return r.Wait() // ok: waited on the only path
+}
+
+func escapesToCaller(c *Comm, buf []byte) *Request {
+	return c.Isend(buf, 1) // ok: caller takes responsibility
+}
+
+func escapesViaSlice(c *Comm, buf []byte) []*Request {
+	var reqs []*Request
+	reqs = append(reqs, c.Isend(buf, 1), c.Irecv(buf, 1))
+	return reqs // ok: slice escapes to the caller
+}
+
+func escapesViaHelper(c *Comm, buf []byte) error {
+	return waitAll([]*Request{c.Isend(buf, 1)}) // ok: composite literal handed to the waiter
+}
+
+func deliberateAbandon(c *Comm, buf []byte) error {
+	r := c.Isend(buf, 1)
+	if timedOut(buf) {
+		//aapc:allow waitcheck scratch comm is abandoned to the GC on timeout
+		return errors.New("timeout")
+	}
+	return r.Wait()
+}

@@ -98,8 +98,8 @@ func TestDuplicateFramesDiscarded(t *testing.T) {
 		// If a duplicate had been delivered as a real message, it would
 		// still be queued: a fresh receive must time out, not match.
 		if c.Rank() == 0 {
-			err := mpi.RecvTimeout(c, make([]byte, 64), 1, 5, 100*time.Millisecond)
-			if !mpi.IsTimeout(err) {
+			probeErr := mpi.RecvTimeout(c, make([]byte, 64), 1, 5, 100*time.Millisecond)
+			if !mpi.IsTimeout(probeErr) {
 				return errCorrupt(1, 0, -1)
 			}
 		}

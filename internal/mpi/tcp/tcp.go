@@ -1050,6 +1050,7 @@ type writeBatch struct {
 // st.mu. Returns true when the queue head cannot be admitted because the
 // retransmit window is full and nothing else is writable — the overflow
 // condition that terminally fails the stream.
+//aapc:noalloc
 func (b *writeBatch) collect(st *sendStream, resilient bool, limit, maxData int) (overflow bool) {
 	b.frames = b.frames[:0]
 	b.nRetrans = 0
@@ -1096,6 +1097,7 @@ func (b *writeBatch) collect(st *sendStream, resilient bool, limit, maxData int)
 
 // buildIovecs lays the batch out for one vectored write: header, payload,
 // header, payload, ..., with the coalesced ack last.
+//aapc:noalloc
 func (b *writeBatch) buildIovecs() {
 	n := len(b.frames)
 	if b.dup {
@@ -1105,7 +1107,7 @@ func (b *writeBatch) buildIovecs() {
 		n++
 	}
 	if cap(b.hdrs) < n*headerLen {
-		b.hdrs = make([]byte, n*headerLen)
+		b.hdrs = make([]byte, n*headerLen) //aapc:allow noalloc amortized: grows to the high-water batch size, then stable
 	}
 	b.hdrs = b.hdrs[:n*headerLen]
 	b.iovecs = b.iovecs[:0]
@@ -1138,6 +1140,7 @@ func (b *writeBatch) buildIovecs() {
 // whose ack arrived mid-write, and (when complete is true) delivers every
 // data frame's completion with err. reack re-arms the coalesced ack after a
 // failed write so it is retried on the next (post-reconnect) cycle.
+//aapc:noalloc
 func (w *World) releaseBatch(st *sendStream, b *writeBatch, err error, complete, reack bool) {
 	st.mu.Lock()
 	for _, fr := range b.frames {

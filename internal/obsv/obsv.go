@@ -193,6 +193,7 @@ func (r *Recorder) NumEvents() int {
 const eventChunkSize = 256
 
 // record appends an event and feeds the derived histograms and byte tallies.
+//aapc:noalloc
 func (r *Recorder) record(e Event) {
 	if !Enabled || r == nil {
 		return
@@ -206,7 +207,7 @@ func (r *Recorder) record(e Event) {
 		if k > 0 {
 			size = eventChunkSize
 		}
-		r.chunks = append(r.chunks, make([]Event, 0, size))
+		r.chunks = append(r.chunks, make([]Event, 0, size)) //aapc:allow noalloc amortized: one chunk per eventChunkSize events
 	}
 	last := len(r.chunks) - 1
 	r.chunks[last] = append(r.chunks[last], e)
@@ -321,9 +322,10 @@ type icomm struct {
 }
 
 // newReq wraps a request in the next slot of the current chunk.
+//aapc:noalloc
 func (c *icomm) newReq(inner mpi.Request, ev Event) *ireq {
 	if len(c.chunk) == cap(c.chunk) {
-		c.chunk = make([]ireq, 0, 64)
+		c.chunk = make([]ireq, 0, 64) //aapc:allow noalloc bump-allocator refill: one heap object per 64 requests
 	}
 	c.chunk = append(c.chunk, ireq{inner: inner, c: c, ev: ev})
 	return &c.chunk[len(c.chunk)-1]
@@ -354,12 +356,14 @@ func (c *icomm) MarkSyncWait(peer int, start, end float64) {
 		Phase: c.phase, Start: start, End: end})
 }
 
+//aapc:noalloc
 func (c *icomm) Isend(buf []byte, dst, tag int) mpi.Request {
 	ev := Event{Kind: KindSend, Rank: c.inner.Rank(), Peer: dst, Tag: tag,
 		Bytes: len(buf), Phase: c.phase, Start: c.inner.Now()}
 	return c.newReq(c.inner.Isend(buf, dst, tag), ev)
 }
 
+//aapc:noalloc
 func (c *icomm) Irecv(buf []byte, src, tag int) mpi.Request {
 	ev := Event{Kind: KindRecv, Rank: c.inner.Rank(), Peer: src, Tag: tag,
 		Bytes: len(buf), Phase: c.phase, Start: c.inner.Now()}

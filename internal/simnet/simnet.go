@@ -190,6 +190,7 @@ func (w *World) Run(fn func(c mpi.Comm) error) error {
 	comms := w.Comms()
 	errs := make(chan error, len(comms))
 	for _, c := range comms {
+		//aapc:allow determinism rank goroutines are arbitrated by the virtual clock; interleaving cannot affect simulated time
 		go func(c mpi.Comm) {
 			defer w.eng.finish()
 			defer func() {
@@ -603,12 +604,15 @@ func (e *engine) failAll() {
 	}
 	e.deadlocked = true
 	err := fmt.Errorf("simnet: deadlock at t=%.6fs: all ranks blocked with no pending events", e.clock)
-	for _, q := range e.sends {
+	// Complete pending ops in sorted key order: map iteration order would
+	// make the completion sequence on the deadlock path differ run to run,
+	// breaking bit-identical replays (observed event order, first error).
+	for _, q := range sortedQueues(e.sends) {
 		for _, op := range q {
 			e.completeOp(op, err)
 		}
 	}
-	for _, q := range e.recvs {
+	for _, q := range sortedQueues(e.recvs) {
 		for _, op := range q {
 			e.completeOp(op, err)
 		}
@@ -629,6 +633,29 @@ func (e *engine) failAll() {
 		e.completeOp(e.barrierOp, err)
 		e.barrierOp = nil
 	}
+}
+
+// sortedQueues returns the map's queues ordered by (src, dst, tag).
+func sortedQueues(m map[matchKey][]*simOp) [][]*simOp {
+	keys := make([]matchKey, 0, len(m))
+	for k := range m { //aapc:allow determinism order restored by the sort below
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		return a.tag < b.tag
+	})
+	out := make([][]*simOp, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
 }
 
 const timeEps = 1e-12
