@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build build-obsv-off test race alloc-gates bench bench-sim bench-transport microbench fuzz
+.PHONY: check vet lint build build-obsv-off test race alloc-gates bench bench-sim bench-transport bench-sched microbench fuzz
 
 # check is the one-command gate: static analysis (stock vet plus the
 # project analyzers in cmd/aapcvet), full build (with and without the
@@ -69,7 +69,17 @@ bench-transport:
 microbench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-# Short fuzz passes over every DSL parser (longer runs: go test -fuzz=... ).
+# bench-sched measures the schedule daemon's compile paths: from-scratch
+# parallel greedy compiles vs incremental reschedule after a one-node
+# delta, at N=128 and N=512; committed reference numbers live in
+# BENCH_sched.json.
+bench-sched:
+	$(GO) test -bench 'BenchmarkBuildGreedyParallel|BenchmarkReschedule' -run=^$$ -benchtime 1x ./internal/schedule/
+
+# Short fuzz passes over every DSL parser and the daemon's request
+# grammar (longer runs: go test -fuzz=... ).
 fuzz:
 	$(GO) test -fuzz=FuzzParseTopology -fuzztime=30s ./internal/topology/
 	$(GO) test -fuzz=FuzzParsePlan -fuzztime=30s ./internal/faults/
+	$(GO) test -fuzz=FuzzTopologyDelta -fuzztime=30s ./internal/topology/
+	$(GO) test -fuzz=FuzzScheduleRequest -fuzztime=30s ./internal/sched/

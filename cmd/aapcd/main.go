@@ -1,0 +1,132 @@
+// Command aapcd is the schedule-compiler daemon: it compiles the AAPC
+// message schedules of Faraj & Yuan (IPPS 2005) on demand for an evolving
+// cluster topology and serves them over HTTP/JSON.
+//
+// Start it on a preset or a topology DSL file and ask for schedules:
+//
+//	aapcd -addr 127.0.0.1:8642 -topo b &
+//	curl 'http://127.0.0.1:8642/v1/schedule?alg=ours&msize=65536&syncs=1'
+//	curl 'http://127.0.0.1:8642/v1/topology'
+//	curl 'http://127.0.0.1:8642/metrics'
+//
+// Topology changes stream over one connection, one delta per line, one JSON
+// ack per delta; small deltas patch every cached schedule incrementally
+// instead of recompiling:
+//
+//	printf 'join n32 s1\nleave n7\n' | curl --no-buffer --data-binary @- 'http://127.0.0.1:8642/v1/updates'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/aapc-sched/aapcsched/internal/harness"
+	"github.com/aapc-sched/aapcsched/internal/obsv"
+	"github.com/aapc-sched/aapcsched/internal/sched"
+	"github.com/aapc-sched/aapcsched/internal/topology"
+)
+
+// options collects the command-line configuration.
+type options struct {
+	addr    string
+	preset  string
+	file    string
+	cache   int
+	shards  int
+	workers int
+	history int
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8642", "listen address")
+	flag.StringVar(&o.preset, "topo", "fig1", "boot topology preset (a, b, c, bg, fig1)")
+	flag.StringVar(&o.file, "file", "", "boot topology DSL file (overrides -topo)")
+	flag.IntVar(&o.cache, "cache", 64, "cached schedules per shard")
+	flag.IntVar(&o.shards, "shards", 8, "cache shard count")
+	flag.IntVar(&o.workers, "workers", 0, "parallel greedy compile workers (0 = GOMAXPROCS)")
+	flag.IntVar(&o.history, "history", 32, "retained topology versions")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, &o, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "aapcd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// bootTopology loads the daemon's starting graph from -file or -topo.
+func bootTopology(o *options) (*topology.Graph, error) {
+	if o.file != "" {
+		f, err := os.Open(o.file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return topology.Parse(f)
+	}
+	return harness.Preset(o.preset)
+}
+
+// newServer builds the daemon and its listener from the options.
+func newServer(o *options) (*http.Server, net.Listener, error) {
+	g, err := bootTopology(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	reg := obsv.NewRegistry()
+	d, err := sched.New(sched.Options{
+		Graph:         g,
+		CacheCap:      o.cache,
+		Shards:        o.shards,
+		GreedyWorkers: o.workers,
+		History:       o.history,
+		Registry:      reg,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &http.Server{Handler: sched.NewServer(d, reg)}, ln, nil
+}
+
+// run serves the daemon until ctx is cancelled, then drains in-flight
+// requests and exits. The listen address (with the resolved port) is logged
+// to w before serving, so scripts can start on :0 and scrape the port.
+func run(ctx context.Context, o *options, w interface{ Write([]byte) (int, error) }) error {
+	srv, ln, err := newServer(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "aapcd: serving on http://%s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintf(w, "aapcd: drained and stopped\n")
+	return nil
+}

@@ -1,0 +1,96 @@
+package faults
+
+import (
+	"fmt"
+
+	"github.com/aapc-sched/aapcsched/internal/topology"
+)
+
+// TopoStorm generates a deterministic, seeded stream of feasible topology
+// deltas — the churn input for chaos-testing the schedule daemon. The same
+// idiom as the message-fault injector applies: every decision is a pure
+// function of (seed, step), so a storm replays identically no matter how
+// the consumer interleaves it with other work.
+//
+// The storm is stateful only in the names it has minted (joined machines
+// and switches are named storm-m<k>/storm-s<k>), not in the topology: Next
+// takes the cluster as it currently stands and picks a delta that is
+// feasible against it, so storms compose with updates from other sources.
+type TopoStorm struct {
+	seed int64
+	step int
+	// minted counts the names issued, so rejoining after a leave never
+	// collides.
+	minted int
+}
+
+// NewTopoStorm builds a storm for the seed.
+func NewTopoStorm(seed int64) *TopoStorm {
+	return &TopoStorm{seed: seed}
+}
+
+// Step returns how many deltas the storm has issued.
+func (ts *TopoStorm) Step() int { return ts.step }
+
+// Next picks the storm's next delta against the current cluster. The mix is
+// join-heavy (half joins, a third leaves, the rest switch churn), keeping
+// the cluster near its original size over long storms. The graph is only
+// read.
+func (ts *TopoStorm) Next(g *topology.Graph) topology.Delta {
+	step := ts.step
+	ts.step++
+	r := hash01(ts.seed, step, 0)
+	pick := hash01(ts.seed, step, 1)
+
+	machines, switches := stormNodes(g)
+	switch {
+	case r < 0.50 || g.NumMachines() <= 2:
+		// Join a machine at a random switch, occasionally on a slow link
+		// (heterogeneous clusters are first-class in the scheduler).
+		d := topology.Delta{
+			Op:     topology.OpJoin,
+			Node:   ts.mint("m"),
+			Attach: switches[int(pick*float64(len(switches)))],
+		}
+		if hash01(ts.seed, step, 2) < 0.2 {
+			d.Speed = 0.5
+		}
+		return d
+	case r < 0.83:
+		return topology.Delta{
+			Op:   topology.OpLeave,
+			Node: machines[int(pick*float64(len(machines)))],
+		}
+	case r < 0.92 && len(switches) > 1:
+		return topology.Delta{
+			Op:   topology.OpSwitchFail,
+			Node: switches[int(pick*float64(len(switches)))],
+		}
+	default:
+		return topology.Delta{
+			Op:     topology.OpSwitchJoin,
+			Node:   ts.mint("s"),
+			Attach: switches[int(pick*float64(len(switches)))],
+		}
+	}
+}
+
+// mint issues a fresh storm-owned node name.
+func (ts *TopoStorm) mint(kind string) string {
+	ts.minted++
+	return fmt.Sprintf("storm-%s%d", kind, ts.minted)
+}
+
+// stormNodes lists the cluster's machine and switch names in ID order (the
+// deterministic enumeration the picks index into).
+func stormNodes(g *topology.Graph) (machines, switches []string) {
+	for id := 0; id < g.NumNodes(); id++ {
+		n := g.Node(id)
+		if n.Kind == topology.Switch {
+			switches = append(switches, n.Name)
+		} else {
+			machines = append(machines, n.Name)
+		}
+	}
+	return machines, switches
+}

@@ -1,0 +1,89 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/aapc-sched/aapcsched/internal/topology"
+)
+
+func stormTestCluster(t *testing.T) *topology.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	return topology.RandomCluster(topology.RandomOptions{Switches: 3, Machines: 8, Rand: rng})
+}
+
+// TestTopoStormDeterministic: two storms with the same seed emit the same
+// delta sequence against the same evolving cluster.
+func TestTopoStormDeterministic(t *testing.T) {
+	run := func() []string {
+		g := stormTestCluster(t)
+		ts := NewTopoStorm(42)
+		var out []string
+		for i := 0; i < 40; i++ {
+			d := ts.Next(g)
+			out = append(out, d.Format())
+			if ng, _, err := g.ApplyDelta(d); err == nil {
+				g = ng
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d diverged: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// TestTopoStormMostlyFeasible: the storm reads the live cluster, so the
+// bulk of its deltas must apply; every applied delta must leave a valid
+// cluster with at least two machines.
+func TestTopoStormMostlyFeasible(t *testing.T) {
+	g := stormTestCluster(t)
+	ts := NewTopoStorm(1337)
+	applied, rejected := 0, 0
+	for i := 0; i < 200; i++ {
+		d := ts.Next(g)
+		ng, rd, err := g.ApplyDelta(d)
+		if err != nil {
+			rejected++
+			continue
+		}
+		applied++
+		if ng.NumMachines() < 2 {
+			// A leave at NumMachines==2 is the one storm pick that can
+			// legally drop below the schedulable floor.
+			if d.Op != topology.OpLeave && d.Op != topology.OpSwitchFail {
+				t.Fatalf("step %d: %s left %d machines", i, d.Format(), ng.NumMachines())
+			}
+		}
+		if rd.NumNew != ng.NumMachines() {
+			t.Fatalf("step %d: rank delta says %d machines, graph has %d",
+				i, rd.NumNew, ng.NumMachines())
+		}
+		g = ng
+	}
+	if applied < 150 {
+		t.Errorf("storm too infeasible: %d applied, %d rejected", applied, rejected)
+	}
+	if rejected == 0 {
+		t.Log("storm never hit an infeasible delta (fine, but the daemon's rejection path is then untested here)")
+	}
+}
+
+// TestTopoStormSeedsDiffer: different seeds give different storms.
+func TestTopoStormSeedsDiffer(t *testing.T) {
+	g := stormTestCluster(t)
+	a, b := NewTopoStorm(1), NewTopoStorm(2)
+	same := 0
+	for i := 0; i < 30; i++ {
+		if a.Next(g).Format() == b.Next(g).Format() {
+			same++
+		}
+	}
+	if same == 30 {
+		t.Error("seeds 1 and 2 produced identical storms")
+	}
+}

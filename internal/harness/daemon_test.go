@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"github.com/aapc-sched/aapcsched/internal/alltoall"
+	"github.com/aapc-sched/aapcsched/internal/sched"
+	"github.com/aapc-sched/aapcsched/internal/simnet"
+)
+
+// daemonClient boots a schedule daemon over the Fig. 1 cluster and returns
+// a client for it.
+func daemonClient(t *testing.T) *sched.Client {
+	t.Helper()
+	d, err := sched.New(sched.Options{Graph: Fig1()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(sched.NewServer(d, nil))
+	t.Cleanup(srv.Close)
+	return sched.NewClient(srv.URL, srv.Client())
+}
+
+// TestDaemonBackedMatchesLocalCompile: a routine fetched from the daemon
+// must behave identically to the locally compiled one — same simulated
+// completion time on the same deterministic world.
+func TestDaemonBackedMatchesLocalCompile(t *testing.T) {
+	g := Fig1()
+	cl := daemonClient(t)
+	const msize = 64 << 10 // medium class: pair-wise syncs travel with it
+
+	remote, err := DaemonBacked(cl, sched.AlgOurs, msize).Make(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := Ours(alltoall.PairwiseSync).Make(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := simnet.Config{Graph: g}
+	tr, err := Measure(net, remote, msize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := Measure(net, local, msize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != tl {
+		t.Errorf("daemon-backed run took %gs, local compile %gs — same schedule must simulate identically", tr, tl)
+	}
+}
+
+// TestDaemonBackedSmallMessagesUseBarrier: the small class carries no sync
+// plan; the daemon's advice selects barrier synchronization and the routine
+// still completes.
+func TestDaemonBackedSmallMessagesUseBarrier(t *testing.T) {
+	g := Fig1()
+	cl := daemonClient(t)
+	fn, err := DaemonBacked(cl, sched.AlgOurs, 1024).Make(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Measure(simnet.Config{Graph: g}, fn, 1024); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDaemonBackedRejectsForeignTopology: making the routine for a cluster
+// the daemon has never seen must fail (the hash pin misses), not silently
+// serve the daemon's own schedule.
+func TestDaemonBackedRejectsForeignTopology(t *testing.T) {
+	cl := daemonClient(t)
+	if _, err := DaemonBacked(cl, sched.AlgOurs, 1024).Make(TopologyA()); err == nil {
+		t.Fatal("schedule for a foreign topology was served")
+	}
+}

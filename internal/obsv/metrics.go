@@ -20,6 +20,7 @@ import (
 type Registry struct {
 	mu   sync.Mutex
 	recs []*Recorder
+	cnts []*Counters
 }
 
 // NewRegistry builds a registry over the given recorders.
@@ -39,11 +40,31 @@ func (g *Registry) Add(r *Recorder) {
 	g.mu.Unlock()
 }
 
+// AddCounters registers a standalone counter set that is not tied to a
+// rank recorder — control-plane components (the schedule daemon) account
+// cache hits and compiles this way. Its counters render on /metrics merged
+// with the recorder counters.
+func (g *Registry) AddCounters(c *Counters) {
+	if c == nil {
+		return
+	}
+	g.mu.Lock()
+	g.cnts = append(g.cnts, c)
+	g.mu.Unlock()
+}
+
 // Recorders returns the registered recorders.
 func (g *Registry) Recorders() []*Recorder {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return append([]*Recorder(nil), g.recs...)
+}
+
+// counterSets returns the registered standalone counter sets.
+func (g *Registry) counterSets() []*Counters {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]*Counters(nil), g.cnts...)
 }
 
 // ServeHTTP renders the current metrics in Prometheus text format.
@@ -85,6 +106,11 @@ func (g *Registry) WriteMetrics(w io.Writer) {
 			counters[name] += v
 		}
 	}
+	for _, c := range g.counterSets() {
+		for name, v := range c.Snapshot() {
+			counters[name] += v
+		}
+	}
 
 	fmt.Fprintf(w, "# HELP aapc_ranks Number of ranks reporting to this endpoint.\n")
 	fmt.Fprintf(w, "# TYPE aapc_ranks gauge\naapc_ranks %d\n", len(recs))
@@ -111,12 +137,19 @@ func (g *Registry) WriteMetrics(w io.Writer) {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	// Labeled series of one family ("errs{code=\"400\"}", "errs{code=\"422\"}")
+	// sort adjacently; the TYPE header is emitted once per family.
+	lastFamily := ""
 	for _, n := range names {
-		base := n
-		if i := strings.IndexByte(base, '{'); i >= 0 {
-			base = base[:i]
+		family := n
+		if i := strings.IndexByte(family, '{'); i >= 0 {
+			family = family[:i]
 		}
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", base, n, counters[n])
+		if family != lastFamily {
+			fmt.Fprintf(w, "# TYPE %s counter\n", family)
+			lastFamily = family
+		}
+		fmt.Fprintf(w, "%s %d\n", n, counters[n])
 	}
 }
 

@@ -1,0 +1,124 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/aapc-sched/aapcsched/internal/faults"
+	"github.com/aapc-sched/aapcsched/internal/schedule"
+)
+
+// TestChaosTopologyStorm drives a seeded topology-update storm through the
+// live streaming endpoint while reader goroutines hammer the schedule
+// endpoint. Every served schedule must be contention-free (capacity-valid
+// for auto) for the topology version it was keyed to — resolved by its
+// TopoHash against the retained history — proving the daemon never serves
+// a torn read: a schedule patched for one version labelled with another.
+func TestChaosTopologyStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos storm skipped in -short")
+	}
+	const (
+		stormSteps = 60
+		readers    = 4
+	)
+	// History large enough that no version served during the storm can age
+	// out before its reader validates it.
+	d, _, cl := newTestDaemon(t, Options{History: 2 * stormSteps})
+	ctx := context.Background()
+
+	// Prime one entry per algorithm so the storm exercises the patch path
+	// from the very first delta.
+	for _, alg := range []string{AlgOurs, AlgGreedy, AlgAuto} {
+		if _, err := cl.Schedule(ctx, alg, 512, false, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := cl.StartUpdates(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	var (
+		served   atomic.Int64
+		applied  atomic.Int64
+		rejected atomic.Int64
+	)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			algs := []string{AlgOurs, AlgGreedy, AlgAuto}
+			msizes := []int{512, 64 << 10, 1 << 20}
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				alg := algs[(r+i)%len(algs)]
+				resp, err := cl.Schedule(ctx, alg, msizes[i%len(msizes)], false, "")
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				v, ok := d.Store().ByHash(resp.TopoHash)
+				if !ok {
+					t.Errorf("reader %d: served hash %q not in history", r, resp.TopoHash)
+					return
+				}
+				n := v.Graph.NumMachines()
+				if resp.NumRanks != n {
+					t.Errorf("reader %d: response says %d ranks, version %d has %d",
+						r, resp.NumRanks, v.Seq, n)
+					return
+				}
+				s := resp.ToSchedule()
+				verr := schedule.Verify(v.Graph, s, false)
+				if verr != nil && alg == AlgAuto {
+					// Auto may serve a ring schedule that shares fast links
+					// within a phase; that is valid iff capacity-respecting.
+					verr = schedule.VerifyCapacity(v.Graph, s)
+				}
+				if verr != nil {
+					t.Errorf("reader %d: %s schedule for version %d invalid: %v",
+						r, alg, v.Seq, verr)
+					return
+				}
+				served.Add(1)
+			}
+		}(r)
+	}
+
+	storm := faults.NewTopoStorm(20250808)
+	for step := 0; step < stormSteps; step++ {
+		delta := storm.Next(d.Store().Current().Graph)
+		ack, err := st.Apply(delta)
+		if err != nil {
+			t.Fatalf("storm step %d (%s): %v", step, delta.Format(), err)
+		}
+		if ack.Error != "" {
+			rejected.Add(1)
+			continue
+		}
+		applied.Add(1)
+	}
+	close(done)
+	wg.Wait()
+
+	if applied.Load() < stormSteps/2 {
+		t.Errorf("storm applied only %d/%d deltas (rejected %d) — not chaotic enough",
+			applied.Load(), stormSteps, rejected.Load())
+	}
+	if served.Load() < readers {
+		t.Errorf("readers validated only %d schedules", served.Load())
+	}
+	t.Logf("storm: %d applied, %d rejected; readers validated %d served schedules across %d retained versions",
+		applied.Load(), rejected.Load(), served.Load(), d.Store().Current().Seq)
+}

@@ -1,0 +1,174 @@
+package sched
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"github.com/aapc-sched/aapcsched/internal/topology"
+)
+
+// Client talks to a running aapcd over its v1 HTTP API.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the daemon at base (e.g.
+// "http://127.0.0.1:7113"). hc may be nil for http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// decodeError extracts the JSON error body of a non-2xx response.
+func decodeError(resp *http.Response) error {
+	var e ErrorResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&e); err != nil || e.Error == "" {
+		return fmt.Errorf("sched: daemon returned %s", resp.Status)
+	}
+	return fmt.Errorf("sched: daemon returned %s: %s", resp.Status, e.Error)
+}
+
+// Schedule fetches the schedule for the algorithm and message size.
+// withSyncs also requests the pair-wise synchronization plan. hash, when
+// non-empty, pins the request to a retained topology version.
+func (c *Client) Schedule(ctx context.Context, alg string, msize int, withSyncs bool, hash string) (*ScheduleResponse, error) {
+	q := url.Values{}
+	q.Set("alg", alg)
+	q.Set("msize", strconv.Itoa(msize))
+	if withSyncs {
+		q.Set("syncs", "1")
+	}
+	if hash != "" {
+		q.Set("hash", hash)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/schedule?"+q.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out ScheduleResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("sched: decoding schedule response: %w", err)
+	}
+	return &out, nil
+}
+
+// Topology fetches a topology version (0 means current).
+func (c *Client) Topology(ctx context.Context, version int) (*TopologyResponse, error) {
+	u := c.base + "/v1/topology"
+	if version > 0 {
+		u += "?version=" + strconv.Itoa(version)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out TopologyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("sched: decoding topology response: %w", err)
+	}
+	return &out, nil
+}
+
+// UpdateStream is a lockstep topology-update session over one POST
+// /v1/updates connection: each Apply sends one delta line and blocks for
+// its ack, so the caller observes the new version (or the rejection) before
+// deciding the next update.
+type UpdateStream struct {
+	pw    *io.PipeWriter
+	resp  *http.Response
+	sc    *bufio.Scanner
+	ready chan error // closed path: first response (headers) or dial error
+}
+
+// StartUpdates opens an update stream. Close it to end the session.
+func (c *Client) StartUpdates(ctx context.Context) (*UpdateStream, error) {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/updates", pr)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	s := &UpdateStream{pw: pw, ready: make(chan error, 1)}
+	go func() {
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			s.ready <- err
+			return
+		}
+		s.resp = resp
+		s.ready <- nil
+	}()
+	return s, nil
+}
+
+// Apply sends one delta and waits for its ack. An ack with a non-empty
+// Error field means the daemon rejected the delta (the stream stays
+// usable); a returned error means the stream itself failed.
+func (s *UpdateStream) Apply(d topology.Delta) (UpdateAck, error) {
+	if _, err := io.WriteString(s.pw, d.Format()+"\n"); err != nil {
+		return UpdateAck{}, err
+	}
+	if s.sc == nil {
+		// The server sends headers with the first ack; wait for them once.
+		if err := <-s.ready; err != nil {
+			return UpdateAck{}, err
+		}
+		if s.resp.StatusCode != http.StatusOK {
+			defer s.resp.Body.Close()
+			return UpdateAck{}, decodeError(s.resp)
+		}
+		s.sc = bufio.NewScanner(s.resp.Body)
+	}
+	if !s.sc.Scan() {
+		if err := s.sc.Err(); err != nil {
+			return UpdateAck{}, err
+		}
+		return UpdateAck{}, io.ErrUnexpectedEOF
+	}
+	var ack UpdateAck
+	if err := json.Unmarshal(s.sc.Bytes(), &ack); err != nil {
+		return UpdateAck{}, fmt.Errorf("sched: decoding update ack: %w", err)
+	}
+	return ack, nil
+}
+
+// Close ends the update session and drains the response.
+func (s *UpdateStream) Close() error {
+	s.pw.Close()
+	if s.sc == nil {
+		if err := <-s.ready; err != nil {
+			return nil // dial already failed; nothing to drain
+		}
+	}
+	if s.resp != nil {
+		io.Copy(io.Discard, s.resp.Body)
+		return s.resp.Body.Close()
+	}
+	return nil
+}

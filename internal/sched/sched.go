@@ -1,0 +1,155 @@
+// Package sched is the control plane of the schedule daemon (aapcd): it
+// compiles, caches and serves the contention-free AAPC schedules of
+// Faraj & Yuan (IPPS 2005) over HTTP/JSON, keyed by
+// (topology hash, machine count, algorithm, message-size class).
+//
+// The paper's workflow is offline: measure the topology once, generate the
+// customized routine, link it into the application. On a real cluster the
+// topology is not static — machines join and leave, switches fail — and a
+// 512-rank greedy compile takes tens of seconds, far too slow to sit on a
+// job-launch path. The daemon closes that gap two ways:
+//
+//   - A sharded in-memory cache with singleflight compile deduplication:
+//     concurrent requests for the same key cost one compile, and repeated
+//     requests are a map hit.
+//   - Incremental rescheduling (schedule.Reschedule): a topology delta that
+//     touches few machines patches every cached schedule of the previous
+//     version — pinning the messages between survivors, re-placing only the
+//     messages incident to the change — in milliseconds instead of
+//     recompiling. Large deltas fall back to a full compile, with the
+//     greedy path parallelized (schedule.BuildGreedyParallel).
+//
+// Topology versions are retained in a bounded history so that in-flight
+// clients can still resolve the version their schedule was keyed to — the
+// chaos suite leans on this to prove no torn reads under update storms.
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/aapc-sched/aapcsched/internal/schedule"
+	"github.com/aapc-sched/aapcsched/internal/topology"
+)
+
+// Sentinel request errors the HTTP layer maps to status codes.
+var (
+	// ErrUnknownHash: the request pinned a topology hash that is neither
+	// current nor retained in the version history (404).
+	ErrUnknownHash = errors.New("sched: no retained topology version with that hash")
+	// ErrRingInfeasible: the ring schedule oversubscribes a link on this
+	// topology — it is only servable when the inter-switch trunks are fast
+	// enough to carry whole permutation phases (422).
+	ErrRingInfeasible = errors.New("sched: ring schedule exceeds link capacity on this topology")
+)
+
+// MsizeClass buckets message sizes for cache identity. The schedule itself
+// is size-independent, but the recommended synchronization mode is not
+// (short messages amortize a barrier poorly; long ones hide the pair-wise
+// control traffic), so classes get distinct cache entries and sync advice.
+type MsizeClass string
+
+// Message-size classes and their boundaries.
+const (
+	// ClassSmall is msize < 32 KiB: barrier-synchronized phases.
+	ClassSmall MsizeClass = "small"
+	// ClassMedium is 32 KiB <= msize < 256 KiB: pair-wise synchronization.
+	ClassMedium MsizeClass = "medium"
+	// ClassLarge is msize >= 256 KiB: pair-wise synchronization.
+	ClassLarge MsizeClass = "large"
+
+	smallLimit  = 32 << 10
+	mediumLimit = 256 << 10
+)
+
+// ClassifyMsize buckets a message size in bytes.
+//
+//aapc:noalloc
+func ClassifyMsize(msize int) MsizeClass {
+	switch {
+	case msize < smallLimit:
+		return ClassSmall
+	case msize < mediumLimit:
+		return ClassMedium
+	default:
+		return ClassLarge
+	}
+}
+
+// SyncModeFor returns the synchronization advice served with a schedule of
+// the class: "barrier" for small messages, "pairwise" otherwise.
+func (c MsizeClass) SyncModeFor() string {
+	if c == ClassSmall {
+		return "barrier"
+	}
+	return "pairwise"
+}
+
+// Algorithm names accepted by the schedule endpoint.
+const (
+	// AlgOurs is the paper's load-optimal construction (schedule.Build).
+	AlgOurs = "ours"
+	// AlgGreedy is the first-fit baseline, compiled with the parallel
+	// builder (schedule.BuildGreedyParallel).
+	AlgGreedy = "greedy"
+	// AlgAuto picks the cheaper of the optimal and ring schedules by
+	// weighted cost (schedule.BuildAuto) — the heterogeneous-cluster path.
+	AlgAuto = "auto"
+	// AlgRing is the logical-ring schedule (schedule.BuildRing).
+	AlgRing = "ring"
+)
+
+// ValidAlg reports whether name is a servable algorithm.
+func ValidAlg(name string) bool {
+	switch name {
+	case AlgOurs, AlgGreedy, AlgAuto, AlgRing:
+		return true
+	}
+	return false
+}
+
+// Key identifies one cached schedule.
+type Key struct {
+	// TopoHash is topology.Graph.Hash() of the cluster the schedule was
+	// compiled for.
+	TopoHash string
+	// N is the machine count (redundant with the hash, but it spreads the
+	// shard distribution and makes keys self-describing in logs).
+	N int
+	// Alg is the algorithm name (AlgOurs, AlgGreedy, AlgAuto, AlgRing).
+	Alg string
+	// Class is the message-size class.
+	Class MsizeClass
+}
+
+// String renders the key for logs and error messages.
+func (k Key) String() string {
+	return fmt.Sprintf("%s/n%d/%s/%s", k.TopoHash, k.N, k.Alg, k.Class)
+}
+
+// compileSchedule runs the requested builder. greedyWorkers bounds the
+// parallel greedy fan-out (<= 0 means GOMAXPROCS).
+func compileSchedule(g *topology.Graph, alg string, greedyWorkers int) (*schedule.Schedule, error) {
+	switch alg {
+	case AlgOurs:
+		return schedule.Build(g)
+	case AlgGreedy:
+		return schedule.BuildGreedyParallel(g, greedyWorkers), nil
+	case AlgAuto:
+		return schedule.BuildAuto(g)
+	case AlgRing:
+		s := schedule.BuildRing(g)
+		if err := schedule.VerifyCapacity(g, s); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrRingInfeasible, err)
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("sched: unknown algorithm %q", alg)
+}
+
+// reschedulable reports whether entries of the algorithm may be patched
+// incrementally after a topology delta. The optimal and greedy schedules
+// stay valid under phase-pinning (tree paths between survivors are
+// unchanged); auto and ring re-derive structure from the whole topology, so
+// they recompile.
+func reschedulable(alg string) bool { return alg == AlgOurs || alg == AlgGreedy }

@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/aapc-sched/aapcsched/internal/topology"
+)
+
+// Version is one immutable snapshot of the cluster topology. Graphs are
+// never mutated after publication, so a Version may be read concurrently.
+type Version struct {
+	// Seq is the monotonically increasing version number; the boot
+	// topology is 1.
+	Seq int
+	// Hash is Graph.Hash(), the cache-key component.
+	Hash string
+	// Graph is the validated cluster.
+	Graph *topology.Graph
+}
+
+// Store holds the current topology and a bounded history of predecessors,
+// so clients holding a schedule keyed to an older version can still resolve
+// (and re-validate against) the exact topology it was compiled for.
+type Store struct {
+	mu      sync.RWMutex
+	history []*Version // ascending Seq; last is current
+	keep    int
+	nextSeq int
+}
+
+// NewStore publishes g as version 1 and retains up to keep versions
+// (minimum 1).
+func NewStore(g *topology.Graph, keep int) (*Store, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	st := &Store{keep: keep, nextSeq: 1}
+	st.publish(g)
+	return st, nil
+}
+
+// publish appends g as the next version. Callers hold no lock; publish
+// takes it.
+func (st *Store) publish(g *topology.Graph) *Version {
+	// Warm the lazily cached rooted view before the graph becomes visible
+	// to concurrent compiles: the rooted-view cache is written on first
+	// use (NewEdgeIndex reads it), and warmed graphs are read-only
+	// thereafter.
+	g.NewEdgeIndex()
+	v := &Version{Graph: g, Hash: g.Hash()}
+	st.mu.Lock()
+	v.Seq = st.nextSeq
+	st.nextSeq++
+	st.history = append(st.history, v)
+	if len(st.history) > st.keep {
+		st.history = append(st.history[:0], st.history[len(st.history)-st.keep:]...)
+	}
+	st.mu.Unlock()
+	return v
+}
+
+// Current returns the latest version.
+func (st *Store) Current() *Version {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.history[len(st.history)-1]
+}
+
+// BySeq returns the retained version with the given sequence number.
+func (st *Store) BySeq(seq int) (*Version, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	for i := len(st.history) - 1; i >= 0; i-- {
+		if st.history[i].Seq == seq {
+			return st.history[i], true
+		}
+	}
+	return nil, false
+}
+
+// ByHash returns the most recent retained version with the given topology
+// hash.
+func (st *Store) ByHash(hash string) (*Version, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	for i := len(st.history) - 1; i >= 0; i-- {
+		if st.history[i].Hash == hash {
+			return st.history[i], true
+		}
+	}
+	return nil, false
+}
+
+// Apply derives the next version from the current one. The rank delta maps
+// the previous version's ranks onto the new one. Apply calls must be
+// externally serialized (the daemon funnels them through one updater).
+func (st *Store) Apply(d topology.Delta) (*Version, *topology.RankDelta, error) {
+	cur := st.Current()
+	newG, rd, err := cur.Graph.ApplyDelta(d)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sched: apply %s to version %d: %w", d.Format(), cur.Seq, err)
+	}
+	return st.publish(newG), rd, nil
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package schedule
+
+// raceEnabled reports whether the race detector is compiled in; the
+// wall-clock bound of the incremental-reschedule latency test is only
+// asserted without it (the race runtime slows CPU-bound bitset code 5-20x).
+const raceEnabled = true

@@ -1,0 +1,375 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The delta DSL describes incremental topology changes, one per line:
+//
+//	join n9 s2 [SPEED]       # machine n9 joins, attached to switch s2
+//	leave n3                 # machine n3 leaves the cluster
+//	failswitch s1            # switch s1 fails; disconnected nodes drop out
+//	joinswitch s9 s2 [SPEED] # switch s9 joins, uplinked to switch s2
+//
+// Blank lines and #-comments are ignored, mirroring the topology DSL. The
+// schedule daemon's streaming update endpoint consumes this format.
+
+// DeltaOp enumerates incremental topology changes.
+type DeltaOp uint8
+
+const (
+	// OpJoin adds a machine attached to an existing switch. The new
+	// machine receives the highest rank.
+	OpJoin DeltaOp = iota
+	// OpLeave removes one machine. Higher ranks shift down by one.
+	OpLeave
+	// OpSwitchFail removes a switch and every node the failure
+	// disconnects: only the surviving component with the most machines
+	// (ties: most nodes, then lowest node ID) remains.
+	OpSwitchFail
+	// OpSwitchJoin adds a leaf switch uplinked to an existing switch.
+	// Machine ranks are unchanged.
+	OpSwitchJoin
+)
+
+// String names the op with its DSL keyword.
+func (o DeltaOp) String() string {
+	switch o {
+	case OpJoin:
+		return "join"
+	case OpLeave:
+		return "leave"
+	case OpSwitchFail:
+		return "failswitch"
+	case OpSwitchJoin:
+		return "joinswitch"
+	default:
+		return fmt.Sprintf("DeltaOp(%d)", uint8(o))
+	}
+}
+
+// Delta is one incremental topology change.
+type Delta struct {
+	Op DeltaOp
+	// Node is the machine (join/leave) or switch (failswitch/joinswitch)
+	// the change targets.
+	Node string
+	// Attach is the existing switch a join/joinswitch connects to.
+	Attach string
+	// Speed is the link speed multiplier for joins; 0 means 1.
+	Speed float64
+}
+
+// Format renders the delta in the DSL; ParseDelta(d.Format()) reproduces it.
+func (d Delta) Format() string {
+	switch d.Op {
+	case OpJoin, OpSwitchJoin:
+		if d.Speed != 0 && d.Speed != 1 {
+			return fmt.Sprintf("%s %s %s %g", d.Op, d.Node, d.Attach, d.Speed)
+		}
+		return fmt.Sprintf("%s %s %s", d.Op, d.Node, d.Attach)
+	default:
+		return fmt.Sprintf("%s %s", d.Op, d.Node)
+	}
+}
+
+// ParseDelta parses a single delta line. Comments and surrounding blanks are
+// stripped; an empty line returns an error.
+func ParseDelta(line string) (Delta, error) {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		line = line[:i]
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return Delta{}, fmt.Errorf("topology: empty delta")
+	}
+	var d Delta
+	switch fields[0] {
+	case "join", "joinswitch":
+		if fields[0] == "join" {
+			d.Op = OpJoin
+		} else {
+			d.Op = OpSwitchJoin
+		}
+		if len(fields) != 3 && len(fields) != 4 {
+			return Delta{}, fmt.Errorf("topology: %s needs NODE SWITCH [SPEED]", fields[0])
+		}
+		d.Node, d.Attach = fields[1], fields[2]
+		if len(fields) == 4 {
+			s, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil || s <= 0 {
+				return Delta{}, fmt.Errorf("topology: bad link speed %q", fields[3])
+			}
+			d.Speed = s
+		}
+	case "leave", "failswitch":
+		if fields[0] == "leave" {
+			d.Op = OpLeave
+		} else {
+			d.Op = OpSwitchFail
+		}
+		if len(fields) != 2 {
+			return Delta{}, fmt.Errorf("topology: %s needs NODE", fields[0])
+		}
+		d.Node = fields[1]
+	default:
+		return Delta{}, fmt.Errorf("topology: unknown delta keyword %q", fields[0])
+	}
+	if d.Node == "" {
+		return Delta{}, fmt.Errorf("topology: empty node name in delta")
+	}
+	return d, nil
+}
+
+// ParseDeltas reads a sequence of delta lines (blank lines and comments
+// permitted between them).
+func ParseDeltas(r io.Reader) ([]Delta, error) {
+	var out []Delta
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		d, err := ParseDelta(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RankDelta maps machine ranks across an applied Delta. Incremental
+// rescheduling uses it to pin surviving messages and identify the ones that
+// must be re-placed.
+type RankDelta struct {
+	// NumOld and NumNew are the machine counts before and after.
+	NumOld, NumNew int
+	// OldToNew maps each old rank to its new rank, -1 for removed
+	// machines. Surviving ranks keep their relative order.
+	OldToNew []int
+	// Removed lists the removed old ranks in ascending order.
+	Removed []int
+	// Added lists the added new ranks in ascending order.
+	Added []int
+}
+
+// Identity reports whether the delta left every rank in place.
+func (rd *RankDelta) Identity() bool {
+	return len(rd.Removed) == 0 && len(rd.Added) == 0 && rd.NumOld == rd.NumNew
+}
+
+// Affected returns the number of machines the delta touched (removed plus
+// added).
+func (rd *RankDelta) Affected() int { return len(rd.Removed) + len(rd.Added) }
+
+// ApplyDelta applies one incremental change to a validated cluster and
+// returns the resulting cluster (a new graph; the receiver is unchanged)
+// plus the rank mapping. Changes that would leave the cluster without
+// machines, or that reference unknown or wrongly-kinded nodes, are
+// rejected.
+func (g *Graph) ApplyDelta(d Delta) (*Graph, *RankDelta, error) {
+	if err := g.Validate(); err != nil {
+		return nil, nil, err
+	}
+	switch d.Op {
+	case OpJoin, OpSwitchJoin:
+		if _, dup := g.byName[d.Node]; dup {
+			return nil, nil, fmt.Errorf("topology: delta %s: node %q already exists", d.Op, d.Node)
+		}
+		at, ok := g.Lookup(d.Attach)
+		if !ok {
+			return nil, nil, fmt.Errorf("topology: delta %s: unknown switch %q", d.Op, d.Attach)
+		}
+		if g.nodes[at].Kind != Switch {
+			return nil, nil, fmt.Errorf("topology: delta %s: %q is a machine, not a switch", d.Op, d.Attach)
+		}
+		c := g.Clone()
+		var id int
+		if d.Op == OpJoin {
+			id = c.MustAddMachine(d.Node)
+		} else {
+			id = c.MustAddSwitch(d.Node)
+		}
+		speed := d.Speed
+		if speed == 0 {
+			speed = 1
+		}
+		// Clone preserves node IDs, so at addresses the same switch.
+		if err := c.ConnectSpeed(at, id, speed); err != nil {
+			return nil, nil, err
+		}
+		if err := c.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("topology: delta %s: %w", d.Op, err)
+		}
+		n := g.NumMachines()
+		rd := &RankDelta{NumOld: n, NumNew: c.NumMachines(), OldToNew: identityRanks(n)}
+		if d.Op == OpJoin {
+			rd.Added = []int{n}
+		}
+		return c, rd, nil
+
+	case OpLeave:
+		id, ok := g.Lookup(d.Node)
+		if !ok {
+			return nil, nil, fmt.Errorf("topology: delta leave: unknown machine %q", d.Node)
+		}
+		if g.nodes[id].Kind != Machine {
+			return nil, nil, fmt.Errorf("topology: delta leave: %q is a switch (use failswitch)", d.Node)
+		}
+		if g.NumMachines() == 1 {
+			return nil, nil, fmt.Errorf("topology: delta leave: cannot remove the last machine")
+		}
+		return g.rebuildWithout(map[int]bool{id: true})
+
+	case OpSwitchFail:
+		id, ok := g.Lookup(d.Node)
+		if !ok {
+			return nil, nil, fmt.Errorf("topology: delta failswitch: unknown switch %q", d.Node)
+		}
+		if g.nodes[id].Kind != Switch {
+			return nil, nil, fmt.Errorf("topology: delta failswitch: %q is a machine (use leave)", d.Node)
+		}
+		if g.NumSwitches() == 1 {
+			return nil, nil, fmt.Errorf("topology: delta failswitch: cannot remove the only switch")
+		}
+		removed, err := g.failureShadow(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		return g.rebuildWithout(removed)
+	}
+	return nil, nil, fmt.Errorf("topology: unknown delta op %v", d.Op)
+}
+
+func identityRanks(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// failureShadow returns the set of node IDs removed by the failure of
+// switch id: the switch itself plus every node outside the surviving
+// component with the most machines (ties: most nodes, then lowest minimum
+// node ID). An error is returned if no surviving component has a machine.
+func (g *Graph) failureShadow(id int) (map[int]bool, error) {
+	n := len(g.nodes)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	comp[id] = -2 // the failed switch belongs to no component
+	type score struct{ machines, nodes, minID int }
+	var scores []score
+	for start := 0; start < n; start++ {
+		if comp[start] != -1 {
+			continue
+		}
+		ci := len(scores)
+		sc := score{minID: start}
+		queue := []int{start}
+		comp[start] = ci
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			sc.nodes++
+			if g.nodes[u].Kind == Machine {
+				sc.machines++
+			}
+			for _, v := range g.adj[u] {
+				if comp[v] == -1 {
+					comp[v] = ci
+					queue = append(queue, v)
+				}
+			}
+		}
+		scores = append(scores, sc)
+	}
+	best := -1
+	for i, sc := range scores {
+		if sc.machines == 0 {
+			continue
+		}
+		if best == -1 {
+			best = i
+			continue
+		}
+		b := scores[best]
+		if sc.machines > b.machines ||
+			(sc.machines == b.machines && sc.nodes > b.nodes) ||
+			(sc.machines == b.machines && sc.nodes == b.nodes && sc.minID < b.minID) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return nil, fmt.Errorf("topology: delta failswitch: failure of %s disconnects every machine",
+			g.nodes[id].Name)
+	}
+	removed := map[int]bool{id: true}
+	for v, c := range comp {
+		if c != best && v != id {
+			removed[v] = true
+		}
+	}
+	return removed, nil
+}
+
+// rebuildWithout reconstructs the cluster with the given node IDs removed,
+// preserving the names, relative rank order and link speeds of everything
+// that survives.
+func (g *Graph) rebuildWithout(removed map[int]bool) (*Graph, *RankDelta, error) {
+	c := New()
+	oldToNewID := make([]int, len(g.nodes))
+	for i := range oldToNewID {
+		oldToNewID[i] = -1
+	}
+	for _, node := range g.nodes {
+		if removed[node.ID] {
+			continue
+		}
+		if node.Kind == Switch {
+			oldToNewID[node.ID] = c.MustAddSwitch(node.Name)
+		} else {
+			oldToNewID[node.ID] = c.MustAddMachine(node.Name)
+		}
+	}
+	for _, l := range g.Links() {
+		nu, nv := oldToNewID[l.U], oldToNewID[l.V]
+		if nu < 0 || nv < 0 {
+			continue
+		}
+		c.MustConnectSpeed(nu, nv, g.LinkSpeed(l))
+	}
+	if err := c.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("topology: delta result invalid: %w", err)
+	}
+	rd := &RankDelta{
+		NumOld:   g.NumMachines(),
+		NumNew:   c.NumMachines(),
+		OldToNew: make([]int, g.NumMachines()),
+	}
+	for r, id := range g.machines {
+		if nid := oldToNewID[id]; nid >= 0 {
+			rd.OldToNew[r] = c.rank[nid]
+		} else {
+			rd.OldToNew[r] = -1
+			rd.Removed = append(rd.Removed, r)
+		}
+	}
+	return c, rd, nil
+}

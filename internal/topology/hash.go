@@ -1,0 +1,35 @@
+package topology
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Hash returns a short stable identifier for the cluster: the hex-encoded
+// 64-bit prefix of the SHA-256 of the canonical DSL text (Format). Graphs
+// with identical node names, ranks, links and link speeds hash identically;
+// any structural change produces a different hash. The schedule daemon keys
+// compiled schedules on it, so the hash must not depend on incidental state
+// such as insertion history beyond what Format exposes.
+func (g *Graph) Hash() string {
+	sum := sha256.Sum256([]byte(g.Format()))
+	return hex.EncodeToString(sum[:8])
+}
+
+// Clone returns an independent copy of the graph with the same node IDs,
+// machine ranks, links and link speeds. The copy is validated if the
+// original validates.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for _, n := range g.nodes {
+		if n.Kind == Switch {
+			c.MustAddSwitch(n.Name)
+		} else {
+			c.MustAddMachine(n.Name)
+		}
+	}
+	for _, l := range g.Links() {
+		c.MustConnectSpeed(l.U, l.V, g.LinkSpeed(l))
+	}
+	return c
+}

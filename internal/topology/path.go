@@ -114,6 +114,11 @@ func (g *Graph) PathBetweenRanks(src, dst int) []Edge {
 type EdgeIndex struct {
 	ids   map[Edge]int
 	edges []Edge
+	// up[v] and down[v] are the dense IDs of the directed edges
+	// (v, parent(v)) and (parent(v), v) in the canonical rooting, -1 at
+	// the root. They let AppendPathEdgeIDs walk a path without map
+	// lookups.
+	up, down []int32
 }
 
 // NewEdgeIndex builds the directed-edge index for the graph.
@@ -124,6 +129,20 @@ func (g *Graph) NewEdgeIndex() *EdgeIndex {
 		for _, e := range []Edge{l, l.Reverse()} {
 			idx.ids[e] = len(idx.edges)
 			idx.edges = append(idx.edges, e)
+		}
+	}
+	rt := g.canonical()
+	idx.up = make([]int32, len(g.nodes))
+	idx.down = make([]int32, len(g.nodes))
+	for i := range idx.up {
+		idx.up[i], idx.down[i] = -1, -1
+	}
+	for id, e := range idx.edges {
+		switch {
+		case rt.parent[e.U] == e.V:
+			idx.up[e.U] = int32(id)
+		case rt.parent[e.V] == e.U:
+			idx.down[e.V] = int32(id)
 		}
 	}
 	return idx
@@ -152,4 +171,33 @@ func (g *Graph) PathIDs(idx *EdgeIndex, u, v int) []int {
 		ids[i] = idx.ID(e)
 	}
 	return ids
+}
+
+// AppendPathEdgeIDs appends the dense directed-edge IDs of the unique path
+// from u to v onto dst and returns the extended slice. The order of IDs
+// within the path is unspecified — callers that treat the path as an edge
+// set (contention bitsets) use this instead of PathIDs to avoid the map
+// lookups and per-call allocations of the Edge-keyed walk. The index must
+// have been built by NewEdgeIndex on this graph.
+func (g *Graph) AppendPathEdgeIDs(idx *EdgeIndex, u, v int, dst []int32) []int32 {
+	if u == v {
+		return dst
+	}
+	rt := g.canonical()
+	a, b := u, v
+	for rt.depth[a] > rt.depth[b] {
+		dst = append(dst, idx.up[a])
+		a = rt.parent[a]
+	}
+	for rt.depth[b] > rt.depth[a] {
+		dst = append(dst, idx.down[b])
+		b = rt.parent[b]
+	}
+	for a != b {
+		dst = append(dst, idx.up[a])
+		a = rt.parent[a]
+		dst = append(dst, idx.down[b])
+		b = rt.parent[b]
+	}
+	return dst
 }
