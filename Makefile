@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build build-obsv-off test race alloc-gates bench bench-sim bench-transport bench-sched microbench fuzz
+.PHONY: check vet lint build build-obsv-off test race alloc-gates bench bench-sim bench-transport bench-sched bench-trace microbench fuzz
 
 # check is the one-command gate: static analysis (stock vet plus the
 # project analyzers in cmd/aapcvet), full build (with and without the
@@ -75,6 +75,14 @@ microbench:
 # BENCH_sched.json.
 bench-sched:
 	$(GO) test -bench 'BenchmarkBuildGreedyParallel|BenchmarkReschedule' -run=^$$ -benchtime 1x ./internal/schedule/
+
+# bench-trace measures the causal-tracing pipeline: per-operation overhead
+# of the instrumented wrapper, collector JSONL ingest and merge throughput
+# (spans/s), full-report analysis cost, and the multi-host clock-offset
+# estimator; committed reference numbers live in BENCH_trace.json.
+bench-trace:
+	$(GO) test -bench=BenchmarkInstrumentedOpCost -benchmem -run=^$$ ./internal/obsv/
+	$(GO) test -bench 'BenchmarkIngestJSONL|BenchmarkMerge|BenchmarkAnalyze|BenchmarkEstimateOffsets' -benchmem -run=^$$ ./internal/obsv/collect/
 
 # Short fuzz passes over every DSL parser and the daemon's request
 # grammar (longer runs: go test -fuzz=... ).

@@ -25,11 +25,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"github.com/aapc-sched/aapcsched/internal/harness"
 	"github.com/aapc-sched/aapcsched/internal/obsv"
+	"github.com/aapc-sched/aapcsched/internal/obsv/collect"
 	"github.com/aapc-sched/aapcsched/internal/sched"
 	"github.com/aapc-sched/aapcsched/internal/topology"
 )
@@ -43,6 +45,7 @@ type options struct {
 	shards  int
 	workers int
 	history int
+	pprof   bool
 }
 
 func main() {
@@ -54,6 +57,8 @@ func main() {
 	flag.IntVar(&o.shards, "shards", 8, "cache shard count")
 	flag.IntVar(&o.workers, "workers", 0, "parallel greedy compile workers (0 = GOMAXPROCS)")
 	flag.IntVar(&o.history, "history", 32, "retained topology versions")
+	flag.BoolVar(&o.pprof, "pprof", false,
+		"serve /debug/pprof and /debug/vars on the daemon address and enable block/mutex profiling")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -95,11 +100,31 @@ func newServer(o *options) (*http.Server, net.Listener, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// The trace collector rides on the daemon mux: nodes POST their JSONL
+	// traces to /v1/trace/ingest and anyone can pull the merged
+	// critical-path/straggler report. Link attribution always resolves
+	// against the daemon's CURRENT topology version, so reports stay
+	// truthful across join/leave deltas.
+	store := collect.NewStore()
+	reg.AddCounters(store.Counters())
+	mux := http.NewServeMux()
+	mux.Handle("/v1/trace/", collect.HandlerLive(store, func() *topology.Graph {
+		return d.Store().Current().Graph
+	}))
+	if o.pprof {
+		// The obsv import registers net/http/pprof and expvar on the
+		// default mux; profiling the scheduler's lock and block behavior
+		// needs the runtime hooks turned on too.
+		runtime.SetBlockProfileRate(1)
+		runtime.SetMutexProfileFraction(5)
+		mux.Handle("/debug/", http.DefaultServeMux)
+	}
+	mux.Handle("/", sched.NewServer(d, reg))
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	return &http.Server{Handler: sched.NewServer(d, reg)}, ln, nil
+	return &http.Server{Handler: mux}, ln, nil
 }
 
 // run serves the daemon until ctx is cancelled, then drains in-flight

@@ -19,9 +19,13 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -50,6 +54,8 @@ type options struct {
 	faultsSpec string
 	metrics    string
 	tracePath  string
+	tracePush  string
+	pprof      bool
 	xportStats bool
 }
 
@@ -73,6 +79,10 @@ func main() {
 		"serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address for the run's duration (e.g. 127.0.0.1:9100)")
 	flag.StringVar(&o.tracePath, "trace", "",
 		"write the run's obsv event trace as JSONL to this file (render with aapcbench -render)")
+	flag.StringVar(&o.tracePush, "push", "",
+		"POST the run's obsv event trace to this collector ingest URL (e.g. http://host:8642/v1/trace/ingest)")
+	flag.BoolVar(&o.pprof, "pprof", false,
+		"enable block/mutex profiling and serve /debug/pprof for the run (implies -metrics 127.0.0.1:0 when -metrics is unset)")
 	flag.BoolVar(&o.xportStats, "transport-stats", false,
 		"report per-rank transport counters after the run (frames, bytes, vectored writes, coalescing factor)")
 	flag.Parse()
@@ -153,6 +163,35 @@ func writeTrace(path string, meta obsv.Meta, recs ...*obsv.Recorder) error {
 	return f.Close()
 }
 
+// emitTrace delivers the run's trace wherever the flags point: a JSONL file
+// (-trace), a collector's ingest endpoint (-push), or both. The collector
+// merges pushes from every rank, so a distributed run can report itself
+// piecewise to one aapcd/aapctrace instance.
+func emitTrace(o *options, meta obsv.Meta, recs ...*obsv.Recorder) error {
+	if o.tracePath != "" {
+		if err := writeTrace(o.tracePath, meta, recs...); err != nil {
+			return err
+		}
+	}
+	if o.tracePush == "" {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := obsv.WriteRecorders(&buf, meta, recs...); err != nil {
+		return err
+	}
+	resp, err := http.Post(o.tracePush, "application/x-ndjson", &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("trace push to %s: %s: %s", o.tracePush, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
 func run(o *options) error {
 	msize, err := parseSize(o.msize)
 	if err != nil {
@@ -161,6 +200,15 @@ func run(o *options) error {
 	plan, err := loadFaults(o.faultsSpec)
 	if err != nil {
 		return err
+	}
+	if o.pprof {
+		// Block and mutex profiles are empty unless the runtime hooks are
+		// on; the debug server (ServeMetrics) exposes them on /debug/pprof.
+		runtime.SetBlockProfileRate(1)
+		runtime.SetMutexProfileFraction(5)
+		if o.metrics == "" {
+			o.metrics = "127.0.0.1:0"
+		}
 	}
 	switch {
 	case o.serve > 0:
@@ -197,9 +245,9 @@ func run(o *options) error {
 		if o.xportStats {
 			reportTransportStats(c, os.Stdout)
 		}
-		if o.tracePath != "" {
+		if o.tracePath != "" || o.tracePush != "" {
 			meta := obsv.Meta{Ranks: c.Size(), Transport: "tcp", Name: o.alg, Msize: msize}
-			return writeTrace(o.tracePath, meta, rec)
+			return emitTrace(o, meta, rec)
 		}
 		return nil
 	case o.local:
@@ -261,7 +309,7 @@ func run(o *options) error {
 		if err := coord.Wait(); err != nil && first == nil {
 			first = err
 		}
-		if o.tracePath != "" && first == nil {
+		if (o.tracePath != "" || o.tracePush != "") && first == nil {
 			present := recs[:0:0]
 			for _, r := range recs {
 				if r != nil {
@@ -269,7 +317,7 @@ func run(o *options) error {
 				}
 			}
 			meta := obsv.Meta{Ranks: n, Transport: "tcp", Name: o.alg, Msize: msize}
-			first = writeTrace(o.tracePath, meta, present...)
+			first = emitTrace(o, meta, present...)
 		}
 		return first
 	default:

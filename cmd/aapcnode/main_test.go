@@ -1,6 +1,7 @@
 package main
 
 import (
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"github.com/aapc-sched/aapcsched/internal/harness"
+	"github.com/aapc-sched/aapcsched/internal/obsv/collect"
 	"github.com/aapc-sched/aapcsched/internal/trace"
 )
 
@@ -134,5 +136,47 @@ func TestLocalWorldObserved(t *testing.T) {
 	}
 	if rows := strings.Count(tl.Gantt(40), "rank"); rows != n {
 		t.Errorf("Gantt has %d rows, want %d", rows, n)
+	}
+}
+
+// TestLocalWorldPushesTrace: -push delivers the run's JSONL trace to a
+// collector, which can then produce a causal report — the wiring a
+// distributed run uses to report itself to aapcd/aapctrace.
+func TestLocalWorldPushesTrace(t *testing.T) {
+	store := collect.NewStore()
+	store.SetCommonClock(true) // -local: every rank in this process
+	srv := httptest.NewServer(collect.Handler(store, nil))
+	defer srv.Close()
+
+	o := opts(func(o *options) {
+		o.tracePush = srv.URL + "/v1/trace/ingest"
+		o.pprof = true // rides along: profile rates + debug server on :0
+	})
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	g, err := harness.Preset(o.preset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumMachines()
+	if store.NumSpans() == 0 {
+		t.Fatal("collector received no spans")
+	}
+	rep := store.Analyze(g)
+	if rep.Ranks != n {
+		t.Errorf("report ranks = %d, want %d", rep.Ranks, n)
+	}
+	if rep.Linked == 0 {
+		t.Error("pushed trace has no causal links")
+	}
+	if len(rep.Critical) == 0 {
+		t.Error("pushed trace yields no critical path")
+	}
+
+	// A bad collector URL must surface as a run error.
+	srv.Close()
+	if err := run(opts(func(o *options) { o.tracePush = srv.URL + "/v1/trace/ingest" })); err == nil {
+		t.Error("want error pushing to dead collector")
 	}
 }

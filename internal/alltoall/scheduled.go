@@ -69,6 +69,10 @@ type sendStep struct {
 type program struct {
 	// recvSrcs lists the sources this rank receives from, in phase order.
 	recvSrcs []int
+	// recvPhases[i] is the schedule phase of the message recvSrcs[i]
+	// catches. Receives are pre-posted before any phase starts, so the
+	// instrumentation needs this to attribute each one to its true phase.
+	recvPhases []int
 	// sends lists this rank's outgoing messages in phase order.
 	sends []sendStep
 	// waits and emits back the sendSteps' index ranges.
@@ -131,6 +135,7 @@ func NewScheduled(s *schedule.Schedule, plan *syncplan.Plan, mode SyncMode) (*Sc
 	for r := range progs {
 		progs[r].sends = make([]sendStep, 0, sendN[r])
 		progs[r].recvSrcs = make([]int, 0, recvN[r])
+		progs[r].recvPhases = make([]int, 0, recvN[r])
 	}
 	// Placement pass. Iterating phases in order IS the counting sort's
 	// distribution step — the phase index is the key and the phases are the
@@ -145,6 +150,7 @@ func NewScheduled(s *schedule.Schedule, plan *syncplan.Plan, mode SyncMode) (*Sc
 	for pi, phase := range s.Phases {
 		for _, m := range phase {
 			progs[m.Dst].recvSrcs = append(progs[m.Dst].recvSrcs, m.Src)
+			progs[m.Dst].recvPhases = append(progs[m.Dst].recvPhases, pi)
 			stepAt[m.Src*n+m.Dst] = int32(len(progs[m.Src].sends))
 			progs[m.Src].sends = append(progs[m.Src].sends, sendStep{phase: pi, dst: m.Dst})
 		}
@@ -278,18 +284,24 @@ func (sc *Scheduled) FnTimeout(d time.Duration) Func {
 
 		scr := sc.scratch.Get().(*runScratch)
 
+		// When the comm is instrumented (obsv.Instrument), mark phase
+		// boundaries and synchronization stalls so phase drift is measurable
+		// on real transports, not just in the simulator. The phaser hints
+		// each pre-posted receive's true schedule phase — without it they
+		// would all be recorded as phase -1.
+		marker := obsv.MarkerFor(c)
+		phaser := obsv.PhaserFor(c)
+
 		// Pre-post every data receive; ordering across sources is enforced
 		// by the senders, and tags distinguish nothing: each (src, dst)
 		// pair occurs exactly once.
 		recvReqs := scr.recvReqs[:0]
-		for _, src := range prog.recvSrcs {
+		for i, src := range prog.recvSrcs {
+			if phaser != nil {
+				phaser.SetNextOpPhase(prog.recvPhases[i])
+			}
 			recvReqs = append(recvReqs, c.Irecv(b.RecvBlock(src), src, tagData))
 		}
-
-		// When the comm is instrumented (obsv.Instrument), mark phase
-		// boundaries and synchronization stalls so phase drift is measurable
-		// on real transports, not just in the simulator.
-		marker := obsv.MarkerFor(c)
 
 		syncSends := scr.syncSends[:0]
 		phase := 0

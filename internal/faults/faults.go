@@ -299,7 +299,34 @@ func (r timedReq) WaitTimeout(d time.Duration) error {
 	return mpi.WaitTimeout(r.inner, d)
 }
 
+// WaitTraced passes the trace information through (mpi.TracedRequest) while
+// keeping the injector's op timeout in force.
+func (r timedReq) WaitTraced() (mpi.TraceInfo, error) {
+	return mpi.WaitTracedTimeout(r.inner, r.d)
+}
+
+// WaitTracedTimeout bounds WaitTraced by the tighter of the caller's and
+// the injector's deadlines (mpi.TracedTimedRequest).
+func (r timedReq) WaitTracedTimeout(d time.Duration) (mpi.TraceInfo, error) {
+	if r.d > 0 && (d <= 0 || r.d < d) {
+		d = r.d
+	}
+	return mpi.WaitTracedTimeout(r.inner, d)
+}
+
 func (c *faultComm) Isend(buf []byte, dst, tag int) mpi.Request {
+	return c.isend(buf, dst, tag, 0)
+}
+
+// IsendTraced applies the same fault rules as Isend and forwards the trace
+// context to the transport (mpi.TracedSender). Without this passthrough,
+// wrapping a traced transport in the injector would silently unlink every
+// message — exactly the runs where attribution matters most.
+func (c *faultComm) IsendTraced(buf []byte, dst, tag int, ctx uint64) mpi.Request {
+	return c.isend(buf, dst, tag, ctx)
+}
+
+func (c *faultComm) isend(buf []byte, dst, tag int, ctx uint64) mpi.Request {
 	if err := c.rankOp(); err != nil {
 		return errRequest{err}
 	}
@@ -321,6 +348,11 @@ func (c *faultComm) Isend(buf []byte, dst, tag int) mpi.Request {
 			}
 			// Dup at comm level would be a real second message above the
 			// matching layer; treated as none.
+		}
+	}
+	if ctx != 0 {
+		if ts, ok := c.inner.(mpi.TracedSender); ok {
+			return timedReq{inner: ts.IsendTraced(buf, dst, tag, ctx), d: c.inj.opTimeout}
 		}
 	}
 	return timedReq{inner: c.inner.Isend(buf, dst, tag), d: c.inj.opTimeout}

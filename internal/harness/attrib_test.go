@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/aapc-sched/aapcsched/internal/alltoall"
+	"github.com/aapc-sched/aapcsched/internal/faults"
+	"github.com/aapc-sched/aapcsched/internal/obsv/collect"
+	"github.com/aapc-sched/aapcsched/internal/topology"
+)
+
+// twoSwitchGraph builds the smallest topology with a cross-switch trunk:
+//
+//	n0, n1 - s0 --- s1 - n2, n3
+//
+// Small enough that the expected divergence counts can be enumerated by
+// hand (see TestAttributionNamesSlowLink).
+func twoSwitchGraph(t *testing.T) *topology.Graph {
+	t.Helper()
+	g := topology.New()
+	s0 := g.MustAddSwitch("s0")
+	s1 := g.MustAddSwitch("s1")
+	for i, sw := range []int{s0, s0, s1, s1} {
+		n := g.MustAddMachine("n" + string(rune('0'+i)))
+		g.MustConnect(n, sw)
+	}
+	g.MustConnect(s0, s1)
+	return g.MustValidate()
+}
+
+// TestAttributionNamesSlowLink is the end-to-end acceptance run: a fault
+// plan delays every message rank 0 sends by 15ms (a slow NIC on n0's
+// uplink), and the merged report must name rank 0 as the straggler, route
+// the critical path through rank 0, and flag exactly the n0>s0 uplink in
+// the sim-vs-real divergence.
+//
+// Expected link arithmetic (4 ranks, one data message per directed pair):
+//
+//	n0>s0: crossed by 0->1, 0->2, 0->3 — 3/3 delayed  => flagged
+//	s0>s1: crossed by 0->2, 0->3, 1->2, 1->3 — 2/4    => below 0.75
+//	s0>n1: crossed by 0->1, 2->1, 3->1 — 1/3          => below 0.75
+//	s0>n0, s1>s0, ...: only healthy traffic           => 0 diverging
+func TestAttributionNamesSlowLink(t *testing.T) {
+	g := twoSwitchGraph(t)
+	plan, err := faults.ParsePlanString("delay 0 * 15ms")
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	rep, err := RunAttribution(AttributionConfig{
+		Graph: g,
+		Mode:  alltoall.PairwiseSync,
+		Msize: 4096,
+		Plan:  plan,
+		// The injected delay (15ms) dwarfs loopback noise by orders of
+		// magnitude; a generous factor keeps scheduler jitter on healthy
+		// messages from ever flagging.
+		Divergence: collect.DivergenceOptions{Factor: 10},
+		Timeout:    30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("RunAttribution: %v", err)
+	}
+
+	if rep.Ranks != 4 {
+		t.Fatalf("ranks = %d, want 4", rep.Ranks)
+	}
+	if rep.Linked == 0 {
+		t.Fatalf("no causally linked messages in the merged trace")
+	}
+
+	// Straggler: rank 0 is the slow sender.
+	if rep.SlowestRank != 0 {
+		t.Errorf("SlowestRank = %d, want 0\n%s", rep.SlowestRank, rep.Text())
+	}
+
+	// Critical path: the chain bounding the makespan must pass through the
+	// delayed rank and cross at least one wire.
+	if len(rep.Critical) == 0 {
+		t.Fatalf("empty critical path")
+	}
+	through0, viaLink := false, false
+	for _, st := range rep.Critical {
+		if st.Rank == 0 {
+			through0 = true
+		}
+		if st.ViaLink {
+			viaLink = true
+		}
+	}
+	if !through0 {
+		t.Errorf("critical path avoids rank 0:\n%s", rep.Text())
+	}
+	if !viaLink {
+		t.Errorf("critical path never crosses a message edge:\n%s", rep.Text())
+	}
+
+	// Divergence: exactly the slow uplink is flagged.
+	if rep.Divergence == nil {
+		t.Fatalf("no divergence report attached")
+	}
+	if rep.Divergence.Matched == 0 {
+		t.Fatalf("divergence matched no messages (unmatched=%d)", rep.Divergence.Unmatched)
+	}
+	flagged := rep.Divergence.FlaggedLinks()
+	if len(flagged) != 1 || flagged[0] != "n0>s0" {
+		t.Errorf("flagged links = %v, want [n0>s0]\n%s", flagged, rep.Text())
+	}
+
+	// Every data message out of rank 0 must itself be flagged.
+	for _, m := range rep.Divergence.Messages {
+		if m.Src == 0 && !m.Flagged {
+			t.Errorf("delayed message 0->%d not flagged (ratio %.2f)", m.Dst, m.Ratio)
+		}
+	}
+
+	// The rendered report names the culprit link.
+	if txt := rep.Text(); !strings.Contains(txt, "n0>s0") {
+		t.Errorf("text report does not mention the flagged link:\n%s", txt)
+	}
+}
+
+// TestAttributionCleanRun verifies the negative: without faults no link is
+// flagged, so the flag in TestAttributionNamesSlowLink is signal, not floor
+// noise.
+func TestAttributionCleanRun(t *testing.T) {
+	g := twoSwitchGraph(t)
+	rep, err := RunAttribution(AttributionConfig{
+		Graph:      g,
+		Mode:       alltoall.PairwiseSync,
+		Msize:      4096,
+		Divergence: collect.DivergenceOptions{Factor: 10},
+	})
+	if err != nil {
+		t.Fatalf("RunAttribution: %v", err)
+	}
+	if rep.Divergence == nil || rep.Divergence.Matched == 0 {
+		t.Fatalf("clean run produced no matched messages")
+	}
+	if flagged := rep.Divergence.FlaggedLinks(); len(flagged) != 0 {
+		t.Errorf("clean run flagged links %v\n%s", flagged, rep.Text())
+	}
+	if len(rep.Critical) == 0 {
+		t.Errorf("clean run has no critical path")
+	}
+}

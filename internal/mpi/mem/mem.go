@@ -60,6 +60,8 @@ func (w *World) getOp(buf []byte) *op {
 // (the single completion was just received), so it is ready for reuse.
 func (w *World) putOp(o *op) {
 	o.buf = nil
+	o.ctx = 0
+	o.deliveredAt = 0
 	w.opsMu.Lock()
 	if len(w.opFree) < opFreeCap {
 		w.opFree = append(w.opFree, o)
@@ -89,12 +91,49 @@ type op struct {
 	w    *World
 	buf  []byte
 	done chan error
+	// ctx is the trace context: on a send op, the context the sender
+	// attached (IsendTraced); on a recv op, the matching sender's context,
+	// copied at match time before the completion is signalled. 0 = untraced.
+	ctx uint64
+	// deliveredAt is the delivery timestamp (Comm.Now seconds), stamped on
+	// BOTH ops at match time for traced messages only: the recv side reads
+	// it as the payload's arrival, the send side as the moment its message
+	// left (which a late-drained Wait would otherwise misreport).
+	deliveredAt float64
 }
 
 func (o *op) Wait() error {
 	err := <-o.done
 	o.w.putOp(o)
 	return err
+}
+
+// WaitTraced consumes the completion and returns the trace information the
+// match recorded (mpi.TracedRequest). The info is read before the op is
+// recycled — reading it after Wait would race the freelist.
+func (o *op) WaitTraced() (mpi.TraceInfo, error) {
+	err := <-o.done
+	info := mpi.TraceInfo{Ctx: o.ctx, DeliveredAt: o.deliveredAt}
+	o.w.putOp(o)
+	return info, err
+}
+
+// WaitTracedTimeout bounds the traced wait (mpi.TracedTimedRequest). Like
+// WaitTimeout, a timed-out op is abandoned, never recycled.
+func (o *op) WaitTracedTimeout(d time.Duration) (mpi.TraceInfo, error) {
+	if d <= 0 {
+		return o.WaitTraced()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case err := <-o.done:
+		info := mpi.TraceInfo{Ctx: o.ctx, DeliveredAt: o.deliveredAt}
+		o.w.putOp(o)
+		return info, err
+	case <-t.C:
+		return mpi.TraceInfo{}, &mpi.TimeoutError{Op: "wait", After: d}
+	}
 }
 
 // WaitTimeout bounds the wait (mpi.TimedRequest). The operation is
@@ -235,12 +274,23 @@ func (r errRequest) Wait() error                     { return r.err }
 func (r errRequest) WaitTimeout(time.Duration) error { return r.err }
 
 func (c *comm) Isend(buf []byte, dst, tag int) mpi.Request {
+	return c.isend(buf, dst, tag, 0)
+}
+
+// IsendTraced attaches a trace context to the message (mpi.TracedSender):
+// the matching receive op learns it, and its delivery time, at match time.
+func (c *comm) IsendTraced(buf []byte, dst, tag int, ctx uint64) mpi.Request {
+	return c.isend(buf, dst, tag, ctx)
+}
+
+func (c *comm) isend(buf []byte, dst, tag int, ctx uint64) mpi.Request {
 	if err := mpi.CheckRank(c, dst); err != nil {
 		return errRequest{err}
 	}
 	key := matchKey{src: c.rank, dst: dst, tag: tag}
 	w := c.w
 	me := w.getOp(buf)
+	me.ctx = ctx
 	w.mu.Lock()
 	if err := w.deadErrLocked(c.rank, dst); err != nil {
 		w.mu.Unlock()
@@ -252,6 +302,15 @@ func (c *comm) Isend(buf []byte, dst, tag int) mpi.Request {
 		q[0] = nil
 		w.recvs[key] = q[1:]
 		n := copy(peer.buf, buf)
+		if ctx != 0 {
+			// The channel send below orders these writes before the
+			// receiver's WaitTraced read. The sender's op gets the same
+			// stamp: a send's effect happened at the match, not at whatever
+			// later point its Wait was drained.
+			peer.ctx = ctx
+			peer.deliveredAt = c.Now()
+			me.deliveredAt = peer.deliveredAt
+		}
 		w.mu.Unlock()
 		if n < len(buf) {
 			err := fmt.Errorf("mem: send %d->%d tag %d truncated: receiver buffer %d < %d",
@@ -283,6 +342,11 @@ func (c *comm) Irecv(buf []byte, src, tag int) mpi.Request {
 		q[0] = nil
 		w.sends[key] = q[1:]
 		n := copy(buf, peer.buf)
+		if peer.ctx != 0 {
+			me.ctx = peer.ctx
+			me.deliveredAt = c.Now()
+			peer.deliveredAt = me.deliveredAt
+		}
 		w.mu.Unlock()
 		if n < len(peer.buf) {
 			err := fmt.Errorf("mem: send %d->%d tag %d truncated: receiver buffer %d < %d",

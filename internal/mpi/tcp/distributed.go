@@ -254,7 +254,8 @@ func join(coordAddr string, retryWindow time.Duration) (mpi.Comm, func() error, 
 	}
 	ep.matcher = &matcher{
 		pool:    &ep.pool,
-		arrived: make(map[matchKey][][]byte),
+		now:     func() float64 { return time.Since(ep.start).Seconds() },
+		arrived: make(map[matchKey][]arrivedMsg),
 		posted:  make(map[matchKey][]*recvOp),
 	}
 	for p := range ep.outq {
@@ -402,6 +403,7 @@ func (ep *endpoint) readLoop(conn net.Conn, p int) {
 		tag := int(int64(binary.LittleEndian.Uint64(hdr[1:9])))
 		seq := binary.LittleEndian.Uint64(hdr[9:17])
 		size := int(int64(binary.LittleEndian.Uint64(hdr[17:25])))
+		ctx := binary.LittleEndian.Uint64(hdr[25:33])
 		if size < 0 || size > maxFramePayload {
 			ep.matcher.fail(p, &mpi.RankError{Rank: p,
 				Err: fmt.Errorf("tcp: rank %d: bad frame size %d from %d", ep.rank, size, p)})
@@ -424,7 +426,7 @@ func (ep *endpoint) readLoop(conn net.Conn, p int) {
 				continue // duplicate re-delivery: discard, never double-match
 			}
 			ep.recvNext[p] = seq + 1
-			ep.matcher.deliver(matchKey{src: p, tag: tag}, payload)
+			ep.matcher.deliver(matchKey{src: p, tag: tag}, payload, ctx)
 		default:
 			ep.matcher.fail(p, &mpi.RankError{Rank: p,
 				Err: fmt.Errorf("tcp: rank %d: unknown frame kind %d from %d", ep.rank, kind, p)})
@@ -473,6 +475,7 @@ func (ep *endpoint) drain(p int) {
 			binary.LittleEndian.PutUint64(hdr[1:9], uint64(int64(fr.tag)))
 			binary.LittleEndian.PutUint64(hdr[9:17], fr.seq)
 			binary.LittleEndian.PutUint64(hdr[17:25], uint64(int64(len(fr.buf))))
+			binary.LittleEndian.PutUint64(hdr[25:33], fr.ctx)
 			iovecs = append(iovecs, hdr)
 			if len(fr.buf) > 0 {
 				iovecs = append(iovecs, fr.buf)
@@ -495,6 +498,9 @@ func (ep *endpoint) drain(p int) {
 			if err != nil {
 				fr.done <- &mpi.RankError{Rank: p, Err: err}
 			} else {
+				if fr.ctx != 0 {
+					fr.doneAt = time.Since(ep.start).Seconds()
+				}
 				fr.done <- nil
 			}
 		}
@@ -520,19 +526,19 @@ func (c *distComm) Kill() error { return c.ep.close() }
 // (FramesSent+AcksSent)/Writevs is the write-coalescing factor.
 func (c *distComm) TransportStats() Stats { return c.ep.stats.snapshot() }
 
-func (c *distComm) isend(buf []byte, dst, tag int) mpi.Request {
+func (c *distComm) isend(buf []byte, dst, tag int, ctx uint64) mpi.Request {
 	if err := mpi.CheckRank(c, dst); err != nil {
 		return errRequest{err}
 	}
 	if dst == c.ep.rank {
 		payload := c.ep.pool.get(len(buf))
 		copy(payload, buf)
-		c.ep.matcher.deliver(matchKey{src: dst, tag: tag}, payload)
+		c.ep.matcher.deliver(matchKey{src: dst, tag: tag}, payload, ctx)
 		return errRequest{nil}
 	}
 	q := c.ep.outq[dst]
 	q.mu.Lock()
-	fr := &outFrame{kind: frameData, tag: tag, seq: q.nextSeq, buf: buf, done: make(chan error, 1)}
+	fr := &outFrame{kind: frameData, tag: tag, seq: q.nextSeq, ctx: ctx, buf: buf, done: make(chan error, 1)}
 	q.nextSeq++
 	q.frames = append(q.frames, fr)
 	if !q.draining {
@@ -540,14 +546,23 @@ func (c *distComm) isend(buf []byte, dst, tag int) mpi.Request {
 		go c.ep.drain(dst)
 	}
 	q.mu.Unlock()
-	return chanRequest{done: fr.done}
+	return chanRequest{done: fr.done, fr: fr}
 }
 
 func (c *distComm) Isend(buf []byte, dst, tag int) mpi.Request {
 	if tag < 0 {
 		return errRequest{fmt.Errorf("tcp: negative tag %d is reserved", tag)}
 	}
-	return c.isend(buf, dst, tag)
+	return c.isend(buf, dst, tag, 0)
+}
+
+// IsendTraced attaches a trace context to the outgoing frame
+// (mpi.TracedSender); it shares the wire format with the in-process World.
+func (c *distComm) IsendTraced(buf []byte, dst, tag int, ctx uint64) mpi.Request {
+	if tag < 0 {
+		return errRequest{fmt.Errorf("tcp: negative tag %d is reserved", tag)}
+	}
+	return c.isend(buf, dst, tag, ctx)
 }
 
 func (c *distComm) irecv(buf []byte, src, tag int) mpi.Request {
@@ -579,7 +594,7 @@ func (c *distComm) Barrier() error {
 		tag := -(gen*64 + round + 1)
 		dst := (c.ep.rank + dist) % n
 		src := (c.ep.rank - dist + n) % n
-		sr := c.isend(nil, dst, tag)
+		sr := c.isend(nil, dst, tag, 0)
 		rr := c.irecv(nil, src, tag)
 		if err := sr.Wait(); err != nil {
 			return err

@@ -34,10 +34,14 @@ import (
 )
 
 // Frame wire format: kind (1 byte) | tag (int64) | seq (uint64) |
-// payload length (int64) | payload. Ack frames carry the cumulative ack in
-// seq (every data frame with a smaller sequence number has been delivered)
-// and no payload.
-const headerLen = 25
+// payload length (int64) | trace ctx (uint64) | payload. Ack frames carry
+// the cumulative ack in seq (every data frame with a smaller sequence
+// number has been delivered) and no payload or trace context (ctx 0).
+// The trace context is an opaque causal identifier (mpi.MakeTraceCtx)
+// handed to the matching receiver; retransmissions repeat the original
+// frame verbatim, context included, and the duplicate-discard below the
+// matcher keeps re-deliveries from ever reaching a receive twice.
+const headerLen = 33
 
 const (
 	frameData byte = 0
@@ -287,9 +291,20 @@ func (lk *link) acquire(self int) (net.Conn, int, error) {
 // resilient mode, so completion means "reusable", while delivery is
 // guaranteed by retransmission or surfaced as a pair failure.
 type outFrame struct {
-	kind      byte
-	tag       int
-	seq       uint64
+	kind byte
+	tag  int
+	seq  uint64
+	// ctx is the causal trace context carried in the frame header (0 =
+	// untraced). Retransmissions reuse the frame, so the context survives
+	// re-delivery unchanged.
+	ctx uint64
+	// doneAt is the sender-local completion timestamp (seconds since the
+	// world/endpoint epoch), stamped just before done is signalled on traced
+	// data frames. It is the sender's honest "my bytes left at T" mark — a
+	// request whose Wait is drained much later must not misreport its send
+	// as having lasted until the drain. The channel send orders the write
+	// before any WaitTraced read.
+	doneAt    float64
 	buf       []byte
 	done      chan error
 	completed bool
@@ -351,15 +366,29 @@ type matcher struct {
 	// pool, when non-nil, receives payload buffers back once their bytes
 	// have been copied into the user's receive buffer.
 	pool *bufPool
+	// now reads the world clock (Comm.Now seconds). Used to stamp the
+	// delivery time of traced frames only, so the untraced path stays free
+	// of clock reads.
+	now func() float64
 
 	mu sync.Mutex
 	// arrived holds frames with no posted receive yet, FIFO per key.
-	arrived map[matchKey][][]byte
+	arrived map[matchKey][]arrivedMsg
 	// posted holds receives with no arrived frame yet, FIFO per key.
 	posted map[matchKey][]*recvOp
 	// srcErr holds sticky per-source transport errors: a dead peer fails
 	// only the receives naming it, not traffic from healthy peers.
 	srcErr map[int]error
+}
+
+// arrivedMsg is a delivered frame waiting for its receive: the payload plus
+// the trace context it carried and its delivery timestamp (stamped only
+// when traced, so a late-posted receive still learns the true arrival
+// time, not its own post time).
+type arrivedMsg struct {
+	payload []byte
+	ctx     uint64
+	at      float64
 }
 
 type matchKey struct {
@@ -377,6 +406,12 @@ type recvOp struct {
 	pool *recvOpPool // nil: the op falls to the GC instead
 	buf  []byte
 	done chan error
+	// ctx/deliveredAt carry the matched frame's trace context and delivery
+	// time. Written by the matcher before the done send, read by WaitTraced
+	// after the done receive (and before recycling), so the channel orders
+	// the accesses.
+	ctx         uint64
+	deliveredAt float64
 }
 
 func (o *recvOp) Wait() error {
@@ -385,6 +420,18 @@ func (o *recvOp) Wait() error {
 		o.pool.put(o)
 	}
 	return err
+}
+
+// WaitTraced waits and returns the sender's trace context and the frame's
+// delivery time (mpi.TracedRequest). The info is read before the op is
+// recycled — reading it after Wait would race the freelist.
+func (o *recvOp) WaitTraced() (mpi.TraceInfo, error) {
+	err := <-o.done
+	info := mpi.TraceInfo{Ctx: o.ctx, DeliveredAt: o.deliveredAt}
+	if o.pool != nil {
+		o.pool.put(o)
+	}
+	return info, err
 }
 
 // WaitTimeout bounds the wait (mpi.TimedRequest). The operation is
@@ -404,6 +451,26 @@ func (o *recvOp) WaitTimeout(d time.Duration) error {
 		return err
 	case <-t.C:
 		return &mpi.TimeoutError{Op: "wait", After: d}
+	}
+}
+
+// WaitTracedTimeout bounds WaitTraced (mpi.TracedTimedRequest). On timeout
+// the op is abandoned like WaitTimeout and the info is zero.
+func (o *recvOp) WaitTracedTimeout(d time.Duration) (mpi.TraceInfo, error) {
+	if d <= 0 {
+		return o.WaitTraced()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case err := <-o.done:
+		info := mpi.TraceInfo{Ctx: o.ctx, DeliveredAt: o.deliveredAt}
+		if o.pool != nil {
+			o.pool.put(o)
+		}
+		return info, err
+	case <-t.C:
+		return mpi.TraceInfo{}, &mpi.TimeoutError{Op: "wait", After: d}
 	}
 }
 
@@ -434,6 +501,8 @@ func (p *recvOpPool) get(buf []byte) *recvOp {
 
 func (p *recvOpPool) put(o *recvOp) {
 	o.buf = nil
+	o.ctx = 0
+	o.deliveredAt = 0
 	p.mu.Lock()
 	if len(p.free) < recvOpFreeCap {
 		p.free = append(p.free, o)
@@ -471,7 +540,8 @@ func NewWorld(n int, opts ...Option) ([]mpi.Comm, func() error, error) {
 	for r := 0; r < n; r++ {
 		w.matchers[r] = &matcher{
 			pool:    &w.pool,
-			arrived: make(map[matchKey][][]byte),
+			now:     func() float64 { return time.Since(w.start).Seconds() },
+			arrived: make(map[matchKey][]arrivedMsg),
 			posted:  make(map[matchKey][]*recvOp),
 			srcErr:  make(map[int]error),
 		}
@@ -1119,6 +1189,7 @@ func (b *writeBatch) buildIovecs() {
 		binary.LittleEndian.PutUint64(hdr[1:9], uint64(int64(fr.tag)))
 		binary.LittleEndian.PutUint64(hdr[9:17], fr.seq)
 		binary.LittleEndian.PutUint64(hdr[17:25], uint64(int64(len(fr.buf))))
+		binary.LittleEndian.PutUint64(hdr[25:33], fr.ctx)
 		b.iovecs = append(b.iovecs, hdr)
 		if len(fr.buf) > 0 {
 			b.iovecs = append(b.iovecs, fr.buf)
@@ -1154,6 +1225,9 @@ func (w *World) releaseBatch(st *sendStream, b *writeBatch, err error, complete,
 		}
 		if complete && fr.done != nil && !fr.completed {
 			fr.completed = true
+			if fr.ctx != 0 {
+				fr.doneAt = time.Since(w.start).Seconds()
+			}
 			fr.done <- err
 		}
 	}
@@ -1314,6 +1388,7 @@ func (w *World) readLoop(r, p int, conn net.Conn, epoch int) {
 		tag := int(int64(binary.LittleEndian.Uint64(hdr[1:9])))
 		seq := binary.LittleEndian.Uint64(hdr[9:17])
 		size := int(int64(binary.LittleEndian.Uint64(hdr[17:25])))
+		ctx := binary.LittleEndian.Uint64(hdr[25:33])
 		if size < 0 || size > maxFramePayload {
 			w.linkBroken(lk, epoch, fmt.Errorf("tcp: rank %d: bad frame size %d from %d", r, size, p))
 			return
@@ -1350,10 +1425,10 @@ func (w *World) readLoop(r, p int, conn net.Conn, epoch int) {
 				st.recvNext++
 				next := st.recvNext
 				st.mu.Unlock()
-				m.deliver(matchKey{src: p, tag: tag}, payload)
+				m.deliver(matchKey{src: p, tag: tag}, payload, ctx)
 				st.noteAck(next)
 			} else {
-				m.deliver(matchKey{src: p, tag: tag}, payload)
+				m.deliver(matchKey{src: p, tag: tag}, payload, ctx)
 			}
 		default:
 			w.hardFail(lk, epoch, fmt.Errorf("tcp: rank %d: unknown frame kind %d from %d", r, p, kind))
@@ -1407,8 +1482,14 @@ func (m *matcher) fail(src int, err error) {
 // deliver hands an arrived frame to a posted receive or queues it. A
 // matched payload goes back to the pool the moment its bytes are copied
 // into the receiver's buffer; an unmatched one is retained in the arrived
-// queue and returned at post time.
-func (m *matcher) deliver(key matchKey, payload []byte) {
+// queue and returned at post time. Traced frames (ctx != 0) get a delivery
+// timestamp here — the moment the payload reached this rank — so a receive
+// waited long after arrival still reports the true delivery time.
+func (m *matcher) deliver(key matchKey, payload []byte, ctx uint64) {
+	var at float64
+	if ctx != 0 && m.now != nil {
+		at = m.now()
+	}
 	m.mu.Lock()
 	if q := m.posted[key]; len(q) > 0 {
 		op := q[0]
@@ -1418,6 +1499,10 @@ func (m *matcher) deliver(key matchKey, payload []byte) {
 		copy(q, q[1:])
 		q[len(q)-1] = nil
 		m.posted[key] = q[:len(q)-1]
+		if ctx != 0 {
+			op.ctx = ctx
+			op.deliveredAt = at
+		}
 		m.mu.Unlock()
 		err := copyPayload(op.buf, payload)
 		if m.pool != nil {
@@ -1426,7 +1511,7 @@ func (m *matcher) deliver(key matchKey, payload []byte) {
 		op.done <- err
 		return
 	}
-	m.arrived[key] = append(m.arrived[key], payload)
+	m.arrived[key] = append(m.arrived[key], arrivedMsg{payload: payload, ctx: ctx, at: at})
 	m.mu.Unlock()
 }
 
@@ -1435,14 +1520,18 @@ func (m *matcher) deliver(key matchKey, payload []byte) {
 func (m *matcher) post(key matchKey, op *recvOp) {
 	m.mu.Lock()
 	if q := m.arrived[key]; len(q) > 0 {
-		payload := q[0]
+		msg := q[0]
 		copy(q, q[1:])
-		q[len(q)-1] = nil
+		q[len(q)-1] = arrivedMsg{}
 		m.arrived[key] = q[:len(q)-1]
+		if msg.ctx != 0 {
+			op.ctx = msg.ctx
+			op.deliveredAt = msg.at
+		}
 		m.mu.Unlock()
-		err := copyPayload(op.buf, payload)
+		err := copyPayload(op.buf, msg.payload)
 		if m.pool != nil {
-			m.pool.put(payload)
+			m.pool.put(msg.payload)
 		}
 		op.done <- err
 		return
@@ -1486,7 +1575,14 @@ func (c *comm) OpDeadline() time.Duration { return c.w.cfg.OpDeadline }
 // ranks of the in-process world).
 func (c *comm) TransportStats() Stats { return c.w.stats.snapshot() }
 
-type chanRequest struct{ done chan error }
+// chanRequest is a send request: completion arrives on done, and fr (when
+// non-nil) carries the trace context and sender-local completion stamp for
+// WaitTraced. The frame is only read after the done receive, which orders
+// the completer's writes.
+type chanRequest struct {
+	done chan error
+	fr   *outFrame
+}
 
 func (r chanRequest) Wait() error { return <-r.done }
 
@@ -1506,6 +1602,34 @@ func (r chanRequest) WaitTimeout(d time.Duration) error {
 	}
 }
 
+func (r chanRequest) info() mpi.TraceInfo {
+	if r.fr == nil {
+		return mpi.TraceInfo{}
+	}
+	return mpi.TraceInfo{Ctx: r.fr.ctx, DeliveredAt: r.fr.doneAt}
+}
+
+// WaitTraced returns the send's trace info (mpi.TracedRequest).
+func (r chanRequest) WaitTraced() (mpi.TraceInfo, error) {
+	err := <-r.done
+	return r.info(), err
+}
+
+// WaitTracedTimeout bounds the traced wait (mpi.TracedTimedRequest).
+func (r chanRequest) WaitTracedTimeout(d time.Duration) (mpi.TraceInfo, error) {
+	if d <= 0 {
+		return r.WaitTraced()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case err := <-r.done:
+		return r.info(), err
+	case <-t.C:
+		return mpi.TraceInfo{}, &mpi.TimeoutError{Op: "wait", After: d}
+	}
+}
+
 type errRequest struct{ err error }
 
 func (r errRequest) Wait() error                     { return r.err }
@@ -1515,7 +1639,7 @@ func (r errRequest) WaitTimeout(time.Duration) error { return r.err }
 // Frames for one destination are written by a single writer in enqueue
 // order, so MPI's non-overtaking guarantee holds per (source, destination,
 // tag).
-func (c *comm) isend(buf []byte, dst, tag int) mpi.Request {
+func (c *comm) isend(buf []byte, dst, tag int, ctx uint64) mpi.Request {
 	if err := mpi.CheckRank(c, dst); err != nil {
 		return errRequest{err}
 	}
@@ -1529,7 +1653,7 @@ func (c *comm) isend(buf []byte, dst, tag int) mpi.Request {
 		// Self-send: loop through the matcher directly, via a pooled copy.
 		payload := c.w.pool.get(len(buf))
 		copy(payload, buf)
-		c.w.matchers[c.rank].deliver(matchKey{src: c.rank, tag: tag}, payload)
+		c.w.matchers[c.rank].deliver(matchKey{src: c.rank, tag: tag}, payload, ctx)
 		return errRequest{nil}
 	}
 	st := c.w.streams[c.rank][dst]
@@ -1549,18 +1673,28 @@ func (c *comm) isend(buf []byte, dst, tag int) mpi.Request {
 		copy(data, buf)
 		poolable = true
 	}
-	fr := &outFrame{kind: frameData, tag: tag, buf: data, done: make(chan error, 1), poolable: poolable}
+	fr := &outFrame{kind: frameData, tag: tag, ctx: ctx, buf: data, done: make(chan error, 1), poolable: poolable}
 	st.queue = append(st.queue, fr)
 	st.cond.Signal()
 	st.mu.Unlock()
-	return chanRequest{done: fr.done}
+	return chanRequest{done: fr.done, fr: fr}
 }
 
 func (c *comm) Isend(buf []byte, dst, tag int) mpi.Request {
 	if tag < 0 {
 		return errRequest{fmt.Errorf("tcp: negative tag %d is reserved", tag)}
 	}
-	return c.isend(buf, dst, tag)
+	return c.isend(buf, dst, tag, 0)
+}
+
+// IsendTraced attaches a trace context to the outgoing frame
+// (mpi.TracedSender): the context rides the wire in the frame header and
+// surfaces on the matching receive's WaitTraced.
+func (c *comm) IsendTraced(buf []byte, dst, tag int, ctx uint64) mpi.Request {
+	if tag < 0 {
+		return errRequest{fmt.Errorf("tcp: negative tag %d is reserved", tag)}
+	}
+	return c.isend(buf, dst, tag, ctx)
 }
 
 func (c *comm) irecv(buf []byte, src, tag int) mpi.Request {
@@ -1600,7 +1734,7 @@ func (c *comm) Barrier() error {
 		tag := -(gen*64 + round + 1)
 		dst := (c.rank + dist) % n
 		src := (c.rank - dist + n) % n
-		sr := c.isend(nil, dst, tag)
+		sr := c.isend(nil, dst, tag, 0)
 		rr := c.irecv(nil, src, tag)
 		if err := mpi.WaitTimeout(sr, d); err != nil {
 			return fmt.Errorf("tcp: barrier round %d: %w", round, err)

@@ -1,0 +1,107 @@
+package mpi
+
+import "time"
+
+// Causal trace contexts.
+//
+// A trace context is a compact causal identifier a sender attaches to one
+// message so the receiver's span can be linked back to the sender's span
+// across rank-local event logs: the observability layer stamps every
+// instrumented operation with a per-rank sequence number, packs
+// (rank, seq) into a context, and transports that support tracing carry
+// the context alongside the payload (an extra header word on tcp frames,
+// a field on the in-process and simulated match records). Retransmitted
+// frames carry the same context as the original, and duplicate discard
+// happens below the matching layer, so one message produces exactly one
+// causal edge no matter how often the wire re-delivers it.
+//
+// The zero context means "no context": both the rank and the sequence
+// number are biased so that a valid context is never 0.
+
+// traceSeqBits is the width of the sequence-number field of a context; the
+// rank occupies the bits above it. 2^40 operations per rank per run and
+// 2^23 ranks are both far beyond anything this repository simulates.
+const traceSeqBits = 40
+
+// MakeTraceCtx packs a sender rank and a 1-based per-rank span sequence
+// number into a trace context. A valid context is never zero (the rank
+// field is biased by one), so 0 always means "untraced".
+//
+//aapc:noalloc
+func MakeTraceCtx(rank int, seq uint64) uint64 {
+	return (uint64(rank)+1)<<traceSeqBits | (seq & (1<<traceSeqBits - 1))
+}
+
+// SplitTraceCtx unpacks a context built by MakeTraceCtx.
+//
+//aapc:noalloc
+func SplitTraceCtx(ctx uint64) (rank int, seq uint64) {
+	return int(ctx>>traceSeqBits) - 1, ctx & (1<<traceSeqBits - 1)
+}
+
+// TraceInfo is what a traced wait learns about the completed operation
+// beyond its error.
+type TraceInfo struct {
+	// Ctx is the trace context the matching sender attached, or 0 when the
+	// message was sent untraced (or the transport cannot carry contexts).
+	Ctx uint64
+	// DeliveredAt is the transport's delivery timestamp in Comm.Now()
+	// seconds: the moment the payload reached this rank's matching layer,
+	// as opposed to the moment the receiver got around to waiting. 0 means
+	// unknown. Transports stamp it only for traced messages, keeping the
+	// untraced fast path free of clock reads.
+	DeliveredAt float64
+}
+
+// TracedSender is implemented by transports that can attach a trace
+// context to an outgoing message. IsendTraced behaves exactly like Isend
+// with the context riding along to the receiver.
+type TracedSender interface {
+	IsendTraced(buf []byte, dst, tag int, ctx uint64) Request
+}
+
+// TracedRequest is implemented by receive requests that can report the
+// sender's trace context. WaitTraced must be used instead of Wait (never
+// after it): transports recycle completed operations through freelists
+// inside Wait, so the context must be read and returned in the same step
+// that consumes the completion.
+type TracedRequest interface {
+	Request
+	// WaitTraced behaves like Wait and additionally returns the trace
+	// information delivered with the message.
+	WaitTraced() (TraceInfo, error)
+}
+
+// TracedTimedRequest bounds a traced wait, mirroring TimedRequest.
+type TracedTimedRequest interface {
+	// WaitTracedTimeout behaves like WaitTimeout and additionally returns
+	// the trace information delivered with the message. On timeout the
+	// info is zero.
+	WaitTracedTimeout(d time.Duration) (TraceInfo, error)
+}
+
+// WaitTraced waits for the request and returns the delivered trace
+// information, degrading to a plain Wait (zero info) on requests that do
+// not support tracing.
+func WaitTraced(r Request) (TraceInfo, error) {
+	if tr, ok := r.(TracedRequest); ok {
+		return tr.WaitTraced()
+	}
+	return TraceInfo{}, r.Wait()
+}
+
+// WaitTracedTimeout is WaitTraced bounded by d, with the same degradation
+// ladder as WaitTimeout: d <= 0 or an untimed request waits unbounded, an
+// untraced request returns zero info.
+func WaitTracedTimeout(r Request, d time.Duration) (TraceInfo, error) {
+	if d <= 0 {
+		return WaitTraced(r)
+	}
+	if tr, ok := r.(TracedTimedRequest); ok {
+		return tr.WaitTracedTimeout(d)
+	}
+	if tr, ok := r.(TimedRequest); ok {
+		return TraceInfo{}, tr.WaitTimeout(d)
+	}
+	return WaitTraced(r)
+}

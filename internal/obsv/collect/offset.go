@@ -1,0 +1,116 @@
+package collect
+
+import (
+	"math"
+
+	"github.com/aapc-sched/aapcsched/internal/obsv"
+)
+
+// Pairwise clock-offset estimation.
+//
+// Each rank records event times on its own Comm.Now() clock. On the
+// in-process transports those clocks share one epoch, but the analysis
+// cannot assume that: distributed endpoints each start their own clock, and
+// even in-process runs are a rehearsal for multi-host traces. The linked
+// spans themselves carry enough information to align the clocks without any
+// extra protocol — the classic NTP-style symmetric-delay argument applied
+// to the messages the run was sending anyway:
+//
+// For a directed pair (a, b), every linked message gives one sample of
+//
+//	d[a][b] = recv_b(local clock of b) − sendStart_a(local clock of a)
+//	        = trueDelay + skew_b − skew_a
+//
+// Queueing only ever adds to trueDelay, so the MINIMUM over samples is the
+// tightest bound on trueDelay + (skew_b − skew_a). With traffic in both
+// directions the unknown true delays cancel under the usual symmetry
+// assumption:
+//
+//	skew_b − skew_a ≈ (min d[a][b] − min d[b][a]) / 2
+//
+// The per-pair relative skews compose along any path, so a breadth-first
+// walk from rank 0 (the anchor, offset 0) assigns every reachable rank an
+// offset that maps its local times onto rank 0's timebase:
+//
+//	t_global = t_local[r] + offset[r]
+//
+// Ranks with no linked traffic to the anchored component keep offset 0.
+
+// EstimateOffsets estimates one clock offset per rank from the linked spans
+// in byRank (events indexed by rank, as returned by Store.ByRank). The
+// result maps local times to rank 0's timebase: global = local + offset.
+func EstimateOffsets(byRank [][]obsv.Event) []float64 {
+	n := len(byRank)
+	offsets := make([]float64, n)
+	if n == 0 {
+		return offsets
+	}
+
+	// sendStart[rank][seq] for every send span.
+	sendStart := make([]map[uint64]float64, n)
+	for r, evs := range byRank {
+		for _, ev := range evs {
+			if ev.Kind != obsv.KindSend {
+				continue
+			}
+			if sendStart[r] == nil {
+				sendStart[r] = make(map[uint64]float64)
+			}
+			sendStart[r][ev.Seq] = ev.Start
+		}
+	}
+
+	// minDelay[a*n+b] = min over linked messages a->b of recvTime_b − sendStart_a.
+	minDelay := make([]float64, n*n)
+	have := make([]bool, n*n)
+	for b, evs := range byRank {
+		for _, ev := range evs {
+			if ev.Kind != obsv.KindRecv || ev.LinkSeq == 0 {
+				continue
+			}
+			a := ev.Peer
+			if a < 0 || a >= n || sendStart[a] == nil {
+				continue
+			}
+			start, ok := sendStart[a][ev.LinkSeq]
+			if !ok {
+				continue
+			}
+			recvTime := ev.End
+			if ev.Deliver > 0 {
+				recvTime = ev.Deliver
+			}
+			d := recvTime - start
+			if !have[a*n+b] || d < minDelay[a*n+b] {
+				minDelay[a*n+b] = d
+				have[a*n+b] = true
+			}
+		}
+	}
+
+	// rel[a][b] = offset_b − offset_a where both directions were observed.
+	// BFS from rank 0 composes them; visiting neighbors in rank order keeps
+	// the estimate deterministic when multiple spanning trees exist.
+	visited := make([]bool, n)
+	visited[0] = true
+	queue := []int{0}
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		for b := 0; b < n; b++ {
+			if visited[b] || !have[a*n+b] || !have[b*n+a] {
+				continue
+			}
+			skew := (minDelay[a*n+b] - minDelay[b*n+a]) / 2
+			if math.IsNaN(skew) || math.IsInf(skew, 0) {
+				continue
+			}
+			// b's clock runs ahead of a's by skew, so mapping b onto the
+			// global timebase subtracts it.
+			offsets[b] = offsets[a] - skew
+			visited[b] = true
+			queue = append(queue, b)
+		}
+	}
+	return offsets
+}

@@ -1,0 +1,140 @@
+package collect
+
+import (
+	"math"
+	"testing"
+
+	"github.com/aapc-sched/aapcsched/internal/obsv"
+)
+
+// synthTrace builds per-rank logs for a ring of messages with known clock
+// skews: every directed pair (a, b) exchanges `per` messages with true
+// one-way delay d plus per-message queueing noise, and each rank records
+// times on a clock shifted by skew[r]. The estimator must recover offsets
+// that cancel the skews (offset[r] = skew[0] - skew[r]).
+func synthTrace(skew []float64, d float64, noise func(a, b, k int) float64) [][]obsv.Event {
+	n := len(skew)
+	byRank := make([][]obsv.Event, n)
+	seq := make([]uint64, n)
+	const per = 4
+	// Base well above zero so skewed local stamps stay positive (0 means
+	// "unknown" in the span model).
+	t := 10.0
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			for k := 0; k < per; k++ {
+				t += 0.001
+				seq[a]++
+				sendSeq := seq[a]
+				byRank[a] = append(byRank[a], obsv.Event{
+					Kind: obsv.KindSend, Rank: a, Peer: b, Seq: sendSeq, Bytes: 4096,
+					Start: t + skew[a], End: t + 0.0001 + skew[a],
+				})
+				arr := t + d + noise(a, b, k)
+				seq[b]++
+				byRank[b] = append(byRank[b], obsv.Event{
+					Kind: obsv.KindRecv, Rank: b, Peer: a, Seq: seq[b], Bytes: 4096,
+					LinkSeq: sendSeq,
+					Start:   t + skew[b], End: arr + 0.0002 + skew[b], Deliver: arr + skew[b],
+				})
+			}
+		}
+	}
+	return byRank
+}
+
+func TestEstimateOffsetsRecoversSkew(t *testing.T) {
+	skew := []float64{0, 0.5, -0.25, 1.75}
+	byRank := synthTrace(skew, 0.002, func(a, b, k int) float64 {
+		// Queueing only ever adds; the min over the pair's messages strips it.
+		return float64(k) * 0.0003
+	})
+	offsets := EstimateOffsets(byRank)
+	if len(offsets) != len(skew) {
+		t.Fatalf("got %d offsets, want %d", len(offsets), len(skew))
+	}
+	for r := range skew {
+		want := skew[0] - skew[r]
+		if math.Abs(offsets[r]-want) > 1e-9 {
+			t.Errorf("offsets[%d] = %v, want %v", r, offsets[r], want)
+		}
+	}
+}
+
+func TestEstimateOffsetsSilentRankKeepsZero(t *testing.T) {
+	// Rank 3 exchanges no linked traffic: it cannot be aligned and must
+	// keep offset 0 rather than inherit garbage.
+	skew := []float64{0, 0.1, 0.2}
+	byRank := synthTrace(skew, 0.001, func(a, b, k int) float64 { return 0 })
+	byRank = append(byRank, nil)
+	offsets := EstimateOffsets(byRank)
+	if got := offsets[3]; got != 0 {
+		t.Errorf("unlinked rank offset = %v, want 0", got)
+	}
+	for r := range skew {
+		want := skew[0] - skew[r]
+		if math.Abs(offsets[r]-want) > 1e-9 {
+			t.Errorf("offsets[%d] = %v, want %v", r, offsets[r], want)
+		}
+	}
+}
+
+func TestEstimateOffsetsComposesAcrossHops(t *testing.T) {
+	// Ranks 0 and 2 never talk directly; the estimate must compose through
+	// rank 1 (BFS over observed pairs).
+	skew := []float64{0, 0.3, -0.7}
+	n := len(skew)
+	byRank := make([][]obsv.Event, n)
+	seq := make([]uint64, n)
+	t0 := 10.0
+	link := func(a, b int) {
+		const d = 0.002
+		for k := 0; k < 3; k++ {
+			t0 += 0.001
+			seq[a]++
+			s := seq[a]
+			byRank[a] = append(byRank[a], obsv.Event{
+				Kind: obsv.KindSend, Rank: a, Peer: b, Seq: s,
+				Start: t0 + skew[a], End: t0 + 0.0001 + skew[a],
+			})
+			seq[b]++
+			byRank[b] = append(byRank[b], obsv.Event{
+				Kind: obsv.KindRecv, Rank: b, Peer: a, Seq: seq[b], LinkSeq: s,
+				Start: t0 + skew[b], End: t0 + d + skew[b], Deliver: t0 + d + skew[b],
+			})
+		}
+	}
+	link(0, 1)
+	link(1, 0)
+	link(1, 2)
+	link(2, 1)
+	offsets := EstimateOffsets(byRank)
+	for r := range skew {
+		want := skew[0] - skew[r]
+		if math.Abs(offsets[r]-want) > 1e-9 {
+			t.Errorf("offsets[%d] = %v, want %v", r, offsets[r], want)
+		}
+	}
+}
+
+// TestMergeAppliesOffsets pins the local-to-global mapping: global = local
+// + offset, applied to Start, End, and Deliver alike.
+func TestMergeAppliesOffsets(t *testing.T) {
+	byRank := [][]obsv.Event{
+		{{Kind: obsv.KindSend, Rank: 0, Seq: 1, Start: 1, End: 2}},
+		{{Kind: obsv.KindRecv, Rank: 1, Seq: 1, LinkSeq: 1, Start: 1.5, End: 3, Deliver: 2.5}},
+	}
+	spans := Merge(byRank, []float64{0, -0.5})
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[1].GStart != 1.0 || spans[1].GEnd != 2.5 || spans[1].GDeliver != 2.0 {
+		t.Errorf("offset not applied: %+v", spans[1])
+	}
+	if spans[0].GStart != 1 || spans[0].GEnd != 2 {
+		t.Errorf("rank 0 shifted: %+v", spans[0])
+	}
+}

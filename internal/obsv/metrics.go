@@ -132,24 +132,33 @@ func (g *Registry) WriteMetrics(w io.Writer) {
 	writeHistogram(w, "aapc_sync_wait_seconds", "Pair-wise synchronization stall time.", &syncWait, 1e-9)
 	writeHistogram(w, "aapc_send_size_bytes", "Send payload sizes.", &sendBytes, 1)
 
-	names := make([]string, 0, len(counters))
+	// Group series by family BEFORE emitting: a plain byte sort of the series
+	// names cannot keep families contiguous, because '_' (0x5f) sorts before
+	// '{' (0x7b) — "aapc_x_sub_total" lands between "aapc_x_total" and
+	// "aapc_x_total{kind=...}", splitting the aapc_x_total family and making
+	// its TYPE header repeat. Prometheus requires each family's HELP/TYPE
+	// block to appear exactly once, with all of its series directly below it.
+	families := make(map[string][]string)
 	for n := range counters {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	// Labeled series of one family ("errs{code=\"400\"}", "errs{code=\"422\"}")
-	// sort adjacently; the TYPE header is emitted once per family.
-	lastFamily := ""
-	for _, n := range names {
 		family := n
 		if i := strings.IndexByte(family, '{'); i >= 0 {
 			family = family[:i]
 		}
-		if family != lastFamily {
-			fmt.Fprintf(w, "# TYPE %s counter\n", family)
-			lastFamily = family
+		families[family] = append(families[family], n)
+	}
+	famNames := make([]string, 0, len(families))
+	for f := range families {
+		famNames = append(famNames, f)
+	}
+	sort.Strings(famNames)
+	for _, f := range famNames {
+		series := families[f]
+		sort.Strings(series)
+		fmt.Fprintf(w, "# HELP %s Named counter merged across ranks and registered counter sets.\n", f)
+		fmt.Fprintf(w, "# TYPE %s counter\n", f)
+		for _, n := range series {
+			fmt.Fprintf(w, "%s %d\n", n, counters[n])
 		}
-		fmt.Fprintf(w, "%s %d\n", n, counters[n])
 	}
 }
 

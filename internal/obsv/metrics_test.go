@@ -1,0 +1,58 @@
+package obsv
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestWriteMetricsCounterFamilyGolden pins the counter section of the
+// exposition byte-for-byte. The regression it guards: a plain byte sort of
+// series names splits a family whenever another family name falls between
+// its bare and labeled series ('_' is 0x5f, '{' is 0x7b, so
+// "aapc_faults_total_errors" sorts between "aapc_faults_total" and
+// "aapc_faults_total{kind=...}"), which made the old single-pass renderer
+// emit the family's TYPE header twice — invalid Prometheus exposition — and
+// it never emitted HELP for counters at all. Each family must render HELP
+// and TYPE exactly once, with all of its series directly below.
+func TestWriteMetricsCounterFamilyGolden(t *testing.T) {
+	g := NewRegistry() // no recorders: the counter section is everything after the histograms
+
+	// Two independently-registered sets (a node's transport counters and a
+	// control-plane daemon's, in real deployments) sharing one family and
+	// one exact series name: same-named series must merge by summing.
+	var node, daemon Counters
+	node.Add(`aapc_faults_total{kind="drop"}`, 2)
+	node.Add("aapc_faults_total", 1)
+	node.Add("aapc_sched_compiles_total", 5)
+	daemon.Add(`aapc_faults_total{kind="drop"}`, 3)
+	daemon.Add("aapc_faults_total_errors", 7)
+	g.AddCounters(&node)
+	g.AddCounters(&daemon)
+
+	var buf bytes.Buffer
+	g.WriteMetrics(&buf)
+	out := buf.String()
+
+	const wantCounters = `# HELP aapc_faults_total Named counter merged across ranks and registered counter sets.
+# TYPE aapc_faults_total counter
+aapc_faults_total 1
+aapc_faults_total{kind="drop"} 5
+# HELP aapc_faults_total_errors Named counter merged across ranks and registered counter sets.
+# TYPE aapc_faults_total_errors counter
+aapc_faults_total_errors 7
+# HELP aapc_sched_compiles_total Named counter merged across ranks and registered counter sets.
+# TYPE aapc_sched_compiles_total counter
+aapc_sched_compiles_total 5
+`
+	// The counter section is the tail of the exposition, right after the last
+	// histogram's _count line.
+	idx := bytes.Index(buf.Bytes(), []byte("aapc_send_size_bytes_count"))
+	if idx < 0 {
+		t.Fatalf("exposition missing the histogram section:\n%s", out)
+	}
+	nl := bytes.IndexByte(buf.Bytes()[idx:], '\n')
+	got := out[idx+nl+1:]
+	if got != wantCounters {
+		t.Errorf("counter section mismatch:\n--- got ---\n%s--- want ---\n%s", got, wantCounters)
+	}
+}

@@ -115,6 +115,21 @@ type Event struct {
 	// entry-to-exit for barriers, the blocked interval for syncwaits.
 	Start float64 `json:"start"`
 	End   float64 `json:"end"`
+	// Seq numbers the rank's events 1..n in program order. (rank, Seq) is
+	// the event's causal identity: senders pack it into the trace context
+	// that rides the transport frame (mpi.MakeTraceCtx).
+	Seq uint64 `json:"seq,omitempty"`
+	// LinkSeq, on a recv event, is the Seq of the matching send event on
+	// rank Peer — the cross-rank causal edge. 0 means the transport did not
+	// carry a context (or the message was sent uninstrumented).
+	LinkSeq uint64 `json:"link,omitempty"`
+	// Deliver is the transport's completion timestamp, as opposed to End,
+	// which is when the rank finished waiting. On a linked recv it is when
+	// the payload reached this rank; on a traced send it is when the
+	// message left (mem: the match; tcp: the socket write). An operation
+	// posted early and drained late has Deliver well before End. 0 means
+	// unknown.
+	Deliver float64 `json:"deliver,omitempty"`
 	// Err carries the operation's error text, if it failed.
 	Err string `json:"err,omitempty"`
 }
@@ -294,6 +309,24 @@ func MarkerFor(c mpi.Comm) Marker {
 	return m
 }
 
+// OpPhaser lets schedule-aware algorithms attribute a single upcoming
+// operation to a phase other than the current one. alltoall.Scheduled
+// pre-posts every data receive before entering phase 0; without the hint
+// those receives would all be attributed to phase -1 even though each
+// belongs to the phase whose message it catches.
+type OpPhaser interface {
+	// SetNextOpPhase overrides the phase recorded for the next posted
+	// Isend/Irecv only; the override is consumed by that operation.
+	SetNextOpPhase(phase int)
+}
+
+// PhaserFor returns the OpPhaser behind a communicator, or nil when the
+// comm is not instrumented (or the layer is compiled out).
+func PhaserFor(c mpi.Comm) OpPhaser {
+	p, _ := c.(OpPhaser)
+	return p
+}
+
 // Instrument wraps a communicator so that every operation is recorded into
 // r. With a nil recorder — or when the package is built with -tags obsv_off
 // — the communicator is returned unchanged, so instrumentation has strictly
@@ -303,16 +336,28 @@ func Instrument(c mpi.Comm, r *Recorder) mpi.Comm {
 	if !Enabled || r == nil || c == nil {
 		return c
 	}
-	return &icomm{inner: c, rec: r, phase: -1}
+	ic := &icomm{inner: c, rec: r, phase: -1, nextPhase: -1}
+	ic.ts, _ = c.(mpi.TracedSender)
+	return ic
 }
 
 // icomm is the instrumenting decorator.
 type icomm struct {
 	inner mpi.Comm
 	rec   *Recorder
+	// ts is the transport's traced-send capability, type-asserted once at
+	// construction; nil when the transport cannot carry trace contexts, in
+	// which case sends fall back to plain Isend and receives stay unlinked.
+	ts mpi.TracedSender
 	// phase is the current schedule phase set through MarkPhase; a Comm is
 	// owned by one goroutine, so no lock is needed.
 	phase int
+	// nextPhase, when >= 0, overrides the phase of the next posted
+	// operation only (OpPhaser).
+	nextPhase int
+	// seq numbers this rank's events 1..n in program order. A send's
+	// (rank, seq) is packed into its outgoing trace context.
+	seq uint64
 	// chunk bump-allocates request wrappers 64 at a time: one heap object
 	// per 64 operations instead of one per operation keeps the wrapper's
 	// allocation and GC-scan cost off the per-message path. Outstanding
@@ -320,6 +365,20 @@ type icomm struct {
 	// alive by those pointers), never grown in place.
 	chunk []ireq
 }
+
+// opPhase returns the phase to attribute the next posted operation to,
+// consuming any one-shot SetNextOpPhase override.
+func (c *icomm) opPhase() int {
+	if c.nextPhase >= 0 {
+		p := c.nextPhase
+		c.nextPhase = -1
+		return p
+	}
+	return c.phase
+}
+
+// SetNextOpPhase implements OpPhaser.
+func (c *icomm) SetNextOpPhase(phase int) { c.nextPhase = phase }
 
 // newReq wraps a request in the next slot of the current chunk.
 //aapc:noalloc
@@ -347,34 +406,43 @@ func (c *icomm) Kill() error {
 func (c *icomm) MarkPhase(phase int) {
 	now := c.inner.Now()
 	c.phase = phase
-	c.rec.record(Event{Kind: KindPhase, Rank: c.inner.Rank(), Peer: -1, Phase: phase, Start: now, End: now})
+	c.seq++
+	c.rec.record(Event{Kind: KindPhase, Rank: c.inner.Rank(), Peer: -1, Phase: phase,
+		Seq: c.seq, Start: now, End: now})
 }
 
 // MarkSyncWait implements Marker.
 func (c *icomm) MarkSyncWait(peer int, start, end float64) {
+	c.seq++
 	c.rec.record(Event{Kind: KindSyncWait, Rank: c.inner.Rank(), Peer: peer,
-		Phase: c.phase, Start: start, End: end})
+		Phase: c.phase, Seq: c.seq, Start: start, End: end})
 }
 
 //aapc:noalloc
 func (c *icomm) Isend(buf []byte, dst, tag int) mpi.Request {
+	c.seq++
 	ev := Event{Kind: KindSend, Rank: c.inner.Rank(), Peer: dst, Tag: tag,
-		Bytes: len(buf), Phase: c.phase, Start: c.inner.Now()}
+		Bytes: len(buf), Phase: c.opPhase(), Seq: c.seq, Start: c.inner.Now()}
+	if c.ts != nil {
+		return c.newReq(c.ts.IsendTraced(buf, dst, tag, mpi.MakeTraceCtx(ev.Rank, c.seq)), ev)
+	}
 	return c.newReq(c.inner.Isend(buf, dst, tag), ev)
 }
 
 //aapc:noalloc
 func (c *icomm) Irecv(buf []byte, src, tag int) mpi.Request {
+	c.seq++
 	ev := Event{Kind: KindRecv, Rank: c.inner.Rank(), Peer: src, Tag: tag,
-		Bytes: len(buf), Phase: c.phase, Start: c.inner.Now()}
+		Bytes: len(buf), Phase: c.opPhase(), Seq: c.seq, Start: c.inner.Now()}
 	return c.newReq(c.inner.Irecv(buf, src, tag), ev)
 }
 
 func (c *icomm) Barrier() error {
 	start := c.inner.Now()
 	err := c.inner.Barrier()
+	c.seq++
 	ev := Event{Kind: KindBarrier, Rank: c.inner.Rank(), Peer: -1,
-		Phase: c.phase, Start: start, End: c.inner.Now()}
+		Phase: c.phase, Seq: c.seq, Start: start, End: c.inner.Now()}
 	if err != nil {
 		ev.Err = err.Error()
 	}
@@ -392,12 +460,31 @@ type ireq struct {
 	done  bool
 }
 
-func (r *ireq) finish(err error) {
+//aapc:noalloc completion path of every instrumented operation
+func (r *ireq) finish(info mpi.TraceInfo, err error) {
 	if r.done {
 		return
 	}
 	r.done = true
 	r.ev.End = r.c.inner.Now()
+	if r.ev.Kind == KindRecv && info.Ctx != 0 {
+		// Link the receive to its sender's span. The rank check rejects a
+		// context that somehow crossed sources (it cannot on the transports
+		// in this repository, but a linked trace must never lie).
+		if rank, seq := mpi.SplitTraceCtx(info.Ctx); rank == r.ev.Peer {
+			r.ev.LinkSeq = seq
+			r.ev.Deliver = info.DeliveredAt
+		}
+	}
+	if r.ev.Kind == KindSend && info.DeliveredAt > 0 {
+		// A send whose Wait drained long after the match would otherwise
+		// report the drain as its duration; the transport's completion stamp
+		// is the honest end of the operation. The context check confirms the
+		// info describes this very send.
+		if rank, seq := mpi.SplitTraceCtx(info.Ctx); rank == r.ev.Rank && seq == r.ev.Seq {
+			r.ev.Deliver = info.DeliveredAt
+		}
+	}
 	if err != nil {
 		r.ev.Err = err.Error()
 	}
@@ -405,8 +492,8 @@ func (r *ireq) finish(err error) {
 }
 
 func (r *ireq) Wait() error {
-	err := r.inner.Wait()
-	r.finish(err)
+	info, err := mpi.WaitTraced(r.inner)
+	r.finish(info, err)
 	return err
 }
 
@@ -415,7 +502,7 @@ func (r *ireq) Wait() error {
 // timed-out operation is recorded with its timeout error: the event marks
 // when the rank gave up, not when (or whether) the transport finished.
 func (r *ireq) WaitTimeout(d time.Duration) error {
-	err := mpi.WaitTimeout(r.inner, d)
-	r.finish(err)
+	info, err := mpi.WaitTracedTimeout(r.inner, d)
+	r.finish(info, err)
 	return err
 }

@@ -297,6 +297,12 @@ type simOp struct {
 	err      error
 	nwaiters int   // ranks currently blocked on this op
 	waiters  []int // ranks to wake when the op completes
+	// ctx is the trace context: set at post time on sends (IsendTraced),
+	// copied from the matched send at flow completion on receives.
+	ctx uint64
+	// deliveredAt is the virtual time the flow finished, stamped on both
+	// sides of the matched pair (traced flows only).
+	deliveredAt float64
 }
 
 // flow is a matched message in transit.
@@ -749,6 +755,11 @@ func (e *engine) advance() bool {
 			} else {
 				copy(f.recvBuf, f.sendBuf)
 			}
+			if f.sendOp.ctx != 0 {
+				f.recvOp.ctx = f.sendOp.ctx
+				f.recvOp.deliveredAt = e.clock
+				f.sendOp.deliveredAt = e.clock
+			}
 			e.completeOp(f.sendOp, err)
 			e.completeOp(f.recvOp, err)
 			e.trace = append(e.trace, FlowRecord{
@@ -859,15 +870,33 @@ type request struct {
 
 func (r *request) Wait() error { return r.e.block(r.op, r.rank) }
 
+// WaitTraced blocks like Wait and reports the matched sender's trace
+// context and the flow's virtual completion time (mpi.TracedRequest).
+// simOps are never recycled, so reading the fields after the block is safe.
+func (r *request) WaitTraced() (mpi.TraceInfo, error) {
+	err := r.e.block(r.op, r.rank)
+	return mpi.TraceInfo{Ctx: r.op.ctx, DeliveredAt: r.op.deliveredAt}, err
+}
+
 type errRequest struct{ err error }
 
 func (r errRequest) Wait() error { return r.err }
 
 func (c *comm) Isend(buf []byte, dst, tag int) mpi.Request {
+	return c.isend(buf, dst, tag, 0)
+}
+
+// IsendTraced attaches a trace context to the message (mpi.TracedSender):
+// the matched receive learns it when the simulated flow completes.
+func (c *comm) IsendTraced(buf []byte, dst, tag int, ctx uint64) mpi.Request {
+	return c.isend(buf, dst, tag, ctx)
+}
+
+func (c *comm) isend(buf []byte, dst, tag int, ctx uint64) mpi.Request {
 	if err := mpi.CheckRank(c, dst); err != nil {
 		return errRequest{err}
 	}
-	op := &simOp{buf: buf}
+	op := &simOp{buf: buf, ctx: ctx}
 	e := c.e
 	e.mu.Lock()
 	if e.deadlocked {
