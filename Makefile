@@ -9,18 +9,20 @@ GO ?= go
 # runtime drops sync.Pool puts).
 check: vet lint build build-obsv-off race alloc-gates
 
-# alloc-gates are the steady-state allocation budgets for the hot paths:
-# zero allocs per Scheduled.Fn run and amortized sub-0.1 allocs per
-# instrumented operation.
+# alloc-gates are the steady-state budgets for the hot paths: zero allocs
+# per Scheduled.Fn run, amortized sub-0.1 allocs per instrumented operation,
+# and zero userspace payload copies on the tcp data plane with receives
+# pre-posted (the zero-copy gate).
 alloc-gates:
 	$(GO) test -run 'TestScheduledFnNoSteadyStateAllocs' -count=1 ./internal/alltoall/
 	$(GO) test -run 'TestInstrumentedOpAllocsAmortized' -count=1 ./internal/obsv/
+	$(GO) test -run 'TestTCPZeroCopySteadyState' -count=1 ./internal/mpi/tcp/
 
 vet:
 	$(GO) vet ./...
 
 # lint runs the project-specific analyzers (poolsafe, determinism,
-# waitcheck, noalloc, shadow, copylocks, loopclosure) over both build
+# waitcheck, noalloc, copycount, shadow, copylocks, loopclosure) over both build
 # configurations via the go vet -vettool protocol. Suppress a deliberate
 # violation with an //aapc:allow <analyzer> <reason> comment on (or one
 # line above) the flagged line.
@@ -57,11 +59,11 @@ bench-sim:
 	$(GO) test -bench=BenchmarkSimAAPC -benchmem -benchtime=1x -run=^$$ ./internal/simnet/
 
 # bench-transport measures the transport data plane: scheduled all-to-all
-# over the mem and tcp transports across a world-size x message-size grid;
-# committed reference numbers (before/after the vectored-write +
-# pooled-buffer data plane) live in BENCH_transport.json.
+# over the mem, shm and tcp transports across a world-size x message-size
+# grid, with copies/op tracking the zero-copy path; committed reference
+# numbers live in BENCH_transport.json.
 bench-transport:
-	$(GO) test -bench 'BenchmarkMemAlltoall|BenchmarkTCPAlltoall' -run=^$$ -benchtime 30x ./internal/alltoall/
+	$(GO) test -bench 'BenchmarkMemAlltoall|BenchmarkShmAlltoall|BenchmarkTCPAlltoall' -run=^$$ -benchtime 30x ./internal/alltoall/
 	$(GO) test -bench 'BenchmarkBuildGreedy/N=64|BenchmarkBuildGreedy/N=256' -run=^$$ -benchtime 1x ./internal/schedule/
 
 # microbench runs the go-test benchmarks (paper tables/figures, transport

@@ -84,7 +84,7 @@ func main() {
 	flag.BoolVar(&o.pprof, "pprof", false,
 		"enable block/mutex profiling and serve /debug/pprof for the run (implies -metrics 127.0.0.1:0 when -metrics is unset)")
 	flag.BoolVar(&o.xportStats, "transport-stats", false,
-		"report per-rank transport counters after the run (frames, bytes, vectored writes, coalescing factor)")
+		"report per-rank transport counters after the run (frames, bytes, coalescing, borrowed-vs-copied sends, shm-vs-tcp byte split)")
 	flag.Parse()
 	if err := run(&o); err != nil {
 		if re, ok := mpi.AsRankError(err); ok {
@@ -136,6 +136,10 @@ func instrument(c mpi.Comm, plan *faults.Plan, deadline time.Duration) (mpi.Comm
 // exposes them (the distributed tcp transport does). The coalescing factor
 // is frames per vectored write: 1.0 means every frame paid its own syscall,
 // higher means the write coalescer batched frames behind a busy socket.
+// The zero-copy line splits sends into borrowed (caller's buffer rode the
+// wire directly) vs copied (staged through the pool), and — for distributed
+// worlds with co-located ranks — payload bytes into shared-memory vs socket
+// links.
 func reportTransportStats(c mpi.Comm, out interface{ Write([]byte) (int, error) }) {
 	sr, ok := c.(interface{ TransportStats() tcp.Stats })
 	if !ok {
@@ -148,6 +152,16 @@ func reportTransportStats(c mpi.Comm, out interface{ Write([]byte) (int, error) 
 	}
 	fmt.Fprintf(out, "rank %2d: transport: frames=%d bytes=%d writevs=%d coalescing=%.2f dup_discards=%d\n",
 		c.Rank(), s.FramesSent, s.BytesSent, s.Writevs, coalesce, s.DupDiscards)
+	borrowRatio := 0.0
+	if t := s.BorrowedSends + s.CopiedSends; t > 0 {
+		borrowRatio = float64(s.BorrowedSends) / float64(t)
+	}
+	fmt.Fprintf(out, "rank %2d: zero-copy: borrowed=%d copied=%d borrow_ratio=%.2f payload_copies=%d zero_copy_recvs=%d\n",
+		c.Rank(), s.BorrowedSends, s.CopiedSends, borrowRatio, s.PayloadCopies, s.ZeroCopyRecvs)
+	if s.ShmLinks > 0 {
+		fmt.Fprintf(out, "rank %2d: links: shm=%d shm_bytes=%d tcp_bytes=%d\n",
+			c.Rank(), s.ShmLinks, s.ShmBytesSent, s.TCPBytesSent)
+	}
 }
 
 // writeTrace writes the merged event trace of the recorders as JSONL.

@@ -1,14 +1,20 @@
 package main
 
 import (
+	"bytes"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"github.com/aapc-sched/aapcsched/internal/harness"
+	"github.com/aapc-sched/aapcsched/internal/mpi"
+	"github.com/aapc-sched/aapcsched/internal/mpi/mem"
+	"github.com/aapc-sched/aapcsched/internal/mpi/shm"
+	"github.com/aapc-sched/aapcsched/internal/mpi/tcp"
 	"github.com/aapc-sched/aapcsched/internal/obsv/collect"
 	"github.com/aapc-sched/aapcsched/internal/trace"
 )
@@ -94,6 +100,77 @@ func TestRunErrors(t *testing.T) {
 		t.Error("want error joining dead coordinator")
 	} else if !strings.Contains(err.Error(), "dial") && !strings.Contains(err.Error(), "connect") {
 		t.Logf("join error (accepted): %v", err)
+	}
+}
+
+// TestReportTransportStats exercises the -transport-stats report against a
+// real 2-rank distributed world: the transport line, the zero-copy
+// borrowed-vs-copied split, and — when the ranks link through shared
+// memory — the shm-vs-tcp byte split.
+func TestReportTransportStats(t *testing.T) {
+	const n = 2
+	coord, err := tcp.StartCoordinator("127.0.0.1:0", n, tcp.WithRendezvousTimeout(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufs [n]bytes.Buffer
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, closeFn, err := tcp.JoinRetry(coord.Addr(), 30*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer closeFn()
+			me := c.Rank()
+			rr := c.Irecv(make([]byte, 2048), 1-me, 0)
+			sr := c.Isend(make([]byte, 2048), 1-me, 0)
+			if err := mpi.WaitAll([]mpi.Request{rr, sr}); err != nil {
+				errs <- err
+				return
+			}
+			if err := c.Barrier(); err != nil {
+				errs <- err
+				return
+			}
+			mu.Lock()
+			reportTransportStats(c, &bufs[me])
+			mu.Unlock()
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := coord.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	shmLinked := shm.MapAvailable() && os.Getenv("AAPC_SHM") != "0"
+	for r := 0; r < n; r++ {
+		out := bufs[r].String()
+		for _, want := range []string{"transport: frames=", "zero-copy: borrowed=", "borrow_ratio="} {
+			if !strings.Contains(out, want) {
+				t.Errorf("rank %d report missing %q:\n%s", r, want, out)
+			}
+		}
+		if shmLinked && !strings.Contains(out, "links: shm=1 ") {
+			t.Errorf("rank %d report missing shm link split:\n%s", r, out)
+		}
+	}
+
+	// A comm without transport counters reports nothing.
+	var quiet bytes.Buffer
+	reportTransportStats(mem.NewWorld(1)[0], &quiet)
+	if quiet.Len() != 0 {
+		t.Errorf("mem comm produced a transport report: %q", quiet.String())
 	}
 }
 

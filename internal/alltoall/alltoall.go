@@ -83,8 +83,15 @@ const (
 	tagSync = 1 << 20
 )
 
-// copySelf moves the rank's own block locally.
+// copySelf moves the rank's own block locally, straight between typed views
+// when the buffers expose them (no pack staging).
 func copySelf(c mpi.Comm, b Buffers) {
+	if tb, ok := b.(TypedBuffers); ok {
+		sb, sdt := tb.SendView(c.Rank())
+		rb, rdt := tb.RecvView(c.Rank())
+		mpi.CopyTyped(rb, rdt, sb, sdt)
+		return
+	}
 	copy(b.RecvBlock(c.Rank()), b.SendBlock(c.Rank()))
 }
 

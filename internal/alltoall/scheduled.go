@@ -88,6 +88,7 @@ type program struct {
 // between runs.
 type runScratch struct {
 	recvReqs  []mpi.Request
+	dataSends []mpi.Request
 	syncSends []mpi.Request
 	syncByte  [1]byte // payload for emitted syncs (value 1, set once)
 	waitByte  [1]byte // receive buffer for awaited syncs
@@ -102,9 +103,10 @@ type runScratch struct {
 type Scheduled struct {
 	mode     SyncMode
 	programs []program
-	// maxRecvs/maxEmits size a runScratch so one pooled scratch fits any
-	// rank's program.
+	// maxRecvs/maxSends/maxEmits size a runScratch so one pooled scratch
+	// fits any rank's program.
 	maxRecvs int
+	maxSends int
 	maxEmits int
 	scratch  sync.Pool
 }
@@ -223,6 +225,9 @@ func NewScheduled(s *schedule.Schedule, plan *syncplan.Plan, mode SyncMode) (*Sc
 		if len(p.recvSrcs) > sc.maxRecvs {
 			sc.maxRecvs = len(p.recvSrcs)
 		}
+		if len(p.sends) > sc.maxSends {
+			sc.maxSends = len(p.sends)
+		}
 		if len(p.emits) > sc.maxEmits {
 			sc.maxEmits = len(p.emits)
 		}
@@ -230,6 +235,7 @@ func NewScheduled(s *schedule.Schedule, plan *syncplan.Plan, mode SyncMode) (*Sc
 	sc.scratch.New = func() any {
 		s := &runScratch{
 			recvReqs:  make([]mpi.Request, 0, sc.maxRecvs),
+			dataSends: make([]mpi.Request, 0, sc.maxSends),
 			syncSends: make([]mpi.Request, 0, sc.maxEmits),
 		}
 		s.syncByte[0] = 1
@@ -292,25 +298,62 @@ func (sc *Scheduled) FnTimeout(d time.Duration) Func {
 		marker := obsv.MarkerFor(c)
 		phaser := obsv.PhaserFor(c)
 
+		// Typed buffers + typed transport is the zero-copy fast path; the
+		// mpi package-level helpers fall back to pack/unpack transparently
+		// on transports without datatype support.
+		tb, typed := b.(TypedBuffers)
+		// A Flusher transport lets emit-after-complete ride the wire-entry
+		// watermark (bytes handed to the kernel) instead of the delivery
+		// ack, so phase boundaries cost a local writer handoff, not a
+		// network round trip.
+		flusher, _ := c.(mpi.Flusher)
+
 		// Pre-post every data receive; ordering across sources is enforced
 		// by the senders, and tags distinguish nothing: each (src, dst)
-		// pair occurs exactly once.
+		// pair occurs exactly once. Pre-posting is also what keeps the tcp
+		// receive path zero-copy: an already-posted receive lets the read
+		// loop place payload bytes straight into the destination block.
 		recvReqs := scr.recvReqs[:0]
 		for i, src := range prog.recvSrcs {
 			if phaser != nil {
 				phaser.SetNextOpPhase(prog.recvPhases[i])
 			}
-			recvReqs = append(recvReqs, c.Irecv(b.RecvBlock(src), src, tagData))
+			if typed {
+				base, dt := tb.RecvView(src)
+				recvReqs = append(recvReqs, mpi.IrecvTyped(c, base, dt, src, tagData))
+			} else {
+				recvReqs = append(recvReqs, c.Irecv(b.RecvBlock(src), src, tagData))
+			}
 		}
 
+		// Sends are issued nonblocking and waited lazily. The schedule's
+		// required orderings all flow through the sync plan: every
+		// cross-phase pair of link-sharing messages — including two sends
+		// of this very rank, which always share its uplink — is ordered by
+		// an emit/wait chain, so a send whose completion nothing waits on
+		// (emitLo == emitHi) can stay in flight while later phases start.
+		// Only sends that emit syncs are waited inline (emit-after-
+		// complete), which matters on the resilient tcp transport where
+		// borrowed zero-copy sends complete on the delivery ack: deferred
+		// waits overlap those ack round-trips instead of serializing them.
+		dataSends := scr.dataSends[:0]
 		syncSends := scr.syncSends[:0]
 		phase := 0
 		curPhase := -1
 		for i := range prog.sends {
 			st := &prog.sends[i]
 			if sc.mode == BarrierSync {
-				// Enter the send's phase, barrier-separated.
+				// Enter the send's phase, barrier-separated. Earlier phases'
+				// sends must complete before their closing barrier.
 				for phase < st.phase {
+					if err := mpi.WaitAllTimeout(dataSends, d); err != nil {
+						//aapc:allow waitcheck on error the collective aborts; outstanding requests are abandoned to the transport shutdown path
+						return fmt.Errorf("alltoall: data send drain: %w", err)
+					}
+					for j := range dataSends {
+						dataSends[j] = nil
+					}
+					dataSends = dataSends[:0]
 					if err := c.Barrier(); err != nil {
 						//aapc:allow waitcheck on error the collective aborts; outstanding requests are abandoned to the transport shutdown path
 						return err
@@ -335,23 +378,57 @@ func (sc *Scheduled) FnTimeout(d time.Duration) Func {
 					marker.MarkSyncWait(w.peer, waitStart, c.Now())
 				}
 			}
-			if err := mpi.SendTimeout(c, b.SendBlock(st.dst), st.dst, tagData, d); err != nil {
-				//aapc:allow waitcheck on error the collective aborts; outstanding requests are abandoned to the transport shutdown path
-				return fmt.Errorf("alltoall: send phase %d to %d: %w", st.phase, st.dst, err)
+			var req mpi.Request
+			if typed {
+				base, dt := tb.SendView(st.dst)
+				req = mpi.IsendTyped(c, base, dt, st.dst, tagData)
+			} else {
+				req = c.Isend(b.SendBlock(st.dst), st.dst, tagData)
 			}
-			for _, e := range prog.emits[st.emitLo:st.emitHi] {
-				syncSends = append(syncSends, c.Isend(scr.syncByte[:], e.peer, e.tag))
+			if st.emitHi > st.emitLo {
+				// Emit-after-complete: later messages are ordered on this
+				// send's entry to the wire. On a Flusher transport the
+				// wire-entry watermark is that ordering point and the
+				// request itself drains lazily; elsewhere the request's own
+				// completion is the only handle.
+				if flusher != nil {
+					if err := flusher.Flush(st.dst, d); err != nil {
+						//aapc:allow waitcheck on error the collective aborts; outstanding requests are abandoned to the transport shutdown path
+						return fmt.Errorf("alltoall: send phase %d to %d: %w", st.phase, st.dst, err)
+					}
+					dataSends = append(dataSends, req)
+				} else if err := mpi.WaitTimeout(req, d); err != nil {
+					//aapc:allow waitcheck on error the collective aborts; outstanding requests are abandoned to the transport shutdown path
+					return fmt.Errorf("alltoall: send phase %d to %d: %w", st.phase, st.dst, err)
+				}
+				for _, e := range prog.emits[st.emitLo:st.emitHi] {
+					syncSends = append(syncSends, c.Isend(scr.syncByte[:], e.peer, e.tag))
+				}
+			} else {
+				dataSends = append(dataSends, req)
 			}
 		}
 		if sc.mode == BarrierSync {
 			// Ranks must participate in the remaining barriers even after
-			// their last send.
+			// their last send; in-flight sends drain before the first one.
 			for ; phase < prog.numPhases-1; phase++ {
+				if err := mpi.WaitAllTimeout(dataSends, d); err != nil {
+					//aapc:allow waitcheck on error the collective aborts; outstanding requests are abandoned to the transport shutdown path
+					return fmt.Errorf("alltoall: data send drain: %w", err)
+				}
+				for j := range dataSends {
+					dataSends[j] = nil
+				}
+				dataSends = dataSends[:0]
 				if err := c.Barrier(); err != nil {
 					//aapc:allow waitcheck on error the collective aborts; outstanding requests are abandoned to the transport shutdown path
 					return err
 				}
 			}
+		}
+		if err := mpi.WaitAllTimeout(dataSends, d); err != nil {
+			//aapc:allow waitcheck on error the collective aborts; outstanding requests are abandoned to the transport shutdown path
+			return fmt.Errorf("alltoall: data send drain: %w", err)
 		}
 		if err := mpi.WaitAllTimeout(recvReqs, d); err != nil {
 			//aapc:allow waitcheck on error the collective aborts; outstanding requests are abandoned to the transport shutdown path
@@ -365,10 +442,14 @@ func (sc *Scheduled) FnTimeout(d time.Duration) Func {
 		for i := range recvReqs {
 			recvReqs[i] = nil
 		}
+		for i := range dataSends {
+			dataSends[i] = nil
+		}
 		for i := range syncSends {
 			syncSends[i] = nil
 		}
 		scr.recvReqs = recvReqs[:0]
+		scr.dataSends = dataSends[:0]
 		scr.syncSends = syncSends[:0]
 		sc.scratch.Put(scr)
 		return nil

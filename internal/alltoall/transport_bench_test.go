@@ -7,6 +7,7 @@ import (
 
 	"github.com/aapc-sched/aapcsched/internal/mpi"
 	"github.com/aapc-sched/aapcsched/internal/mpi/mem"
+	"github.com/aapc-sched/aapcsched/internal/mpi/shm"
 	"github.com/aapc-sched/aapcsched/internal/mpi/tcp"
 	"github.com/aapc-sched/aapcsched/internal/schedule"
 	"github.com/aapc-sched/aapcsched/internal/syncplan"
@@ -58,8 +59,10 @@ func benchScheduled(b *testing.B, n int) *Scheduled {
 // fn concurrently, the iteration completes when all ranks return. Reported
 // ns/op is the wall time of a whole exchange; allocs/op and B/op are the
 // process-wide totals per exchange (all ranks, all transport goroutines) —
-// the figure the data-plane work optimizes.
-func runAlltoallBench(b *testing.B, comms []mpi.Comm, fn Func, msize int) {
+// the figure the data-plane work optimizes. copies, when non-nil, returns
+// the transport's cumulative userspace payload-copy count; its growth is
+// reported as copies/op, the zero-copy path's figure of merit.
+func runAlltoallBench(b *testing.B, comms []mpi.Comm, fn Func, msize int, copies func() uint64) {
 	b.Helper()
 	n := len(comms)
 	bufs := make([]*Contig, n)
@@ -75,6 +78,10 @@ func runAlltoallBench(b *testing.B, comms []mpi.Comm, fn Func, msize int) {
 	errs := make([]error, n)
 	b.SetBytes(int64(n * (n - 1) * msize))
 	b.ReportAllocs()
+	var copies0 uint64
+	if copies != nil {
+		copies0 = copies()
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var wg sync.WaitGroup
@@ -91,6 +98,10 @@ func runAlltoallBench(b *testing.B, comms []mpi.Comm, fn Func, msize int) {
 				b.Fatalf("rank %d: %v", r, err)
 			}
 		}
+	}
+	b.StopTimer()
+	if copies != nil {
+		b.ReportMetric(float64(copies()-copies0)/float64(b.N), "copies/op")
 	}
 }
 
@@ -119,7 +130,25 @@ func BenchmarkMemAlltoall(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d/msize=%d", tc.n, tc.msize), func(b *testing.B) {
 			sc := benchScheduled(b, tc.n)
 			comms := mem.NewWorld(tc.n)
-			runAlltoallBench(b, comms, sc.Fn(), tc.msize)
+			runAlltoallBench(b, comms, sc.Fn(), tc.msize, nil)
+		})
+	}
+}
+
+// BenchmarkShmAlltoall measures the scheduled routine over the
+// shared-memory transport: pre-posted receives ride the single-copy direct
+// path, so copies/op tracks how much traffic degraded to ring transit
+// (2 copies) or heap overflow (2 copies) under skew.
+func BenchmarkShmAlltoall(b *testing.B) {
+	for _, tc := range transportBenchGrid {
+		b.Run(fmt.Sprintf("n=%d/msize=%d", tc.n, tc.msize), func(b *testing.B) {
+			sc := benchScheduled(b, tc.n)
+			comms, w := shm.NewWorldComms(tc.n)
+			defer w.Close()
+			runAlltoallBench(b, comms, sc.Fn(), tc.msize, func() uint64 {
+				s := w.Stats()
+				return s.DirectPlacements + 2*s.RingTransits + 2*s.OverflowStages
+			})
 		})
 	}
 }
@@ -140,7 +169,9 @@ func BenchmarkTCPAlltoall(b *testing.B) {
 					b.Fatal(err)
 				}
 			}()
-			runAlltoallBench(b, comms, sc.Fn(), tc.msize)
+			runAlltoallBench(b, comms, sc.Fn(), tc.msize, func() uint64 {
+				return comms[0].(interface{ TransportStats() tcp.Stats }).TransportStats().PayloadCopies
+			})
 		})
 	}
 }

@@ -1,13 +1,14 @@
 package analysis
 
 // Suite returns every analyzer enforced by aapcvet, in report order: the
-// four project invariants first, then the stock-style safety passes.
+// five project invariants first, then the stock-style safety passes.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		Poolsafe,
 		Determinism,
 		Waitcheck,
 		Noalloc,
+		Copycount,
 		Shadow,
 		Copylocks,
 		Loopclosure,

@@ -33,6 +33,10 @@ func TestNoalloc(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Noalloc, "noalloc")
 }
 
+func TestCopycount(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Copycount, "copycount")
+}
+
 func TestShadow(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Shadow, "shadow")
 }

@@ -2,9 +2,9 @@
 // binding is still used after the inner scope.
 package shadow
 
-func setup() error            { return nil }
-func touch(x int) error       { return nil }
-func observe(total int)       {}
+func setup() error      { return nil }
+func touch(x int) error { return nil }
+func observe(total int) {}
 
 func shadowed(xs []int) int {
 	total := 0

@@ -1,5 +1,6 @@
 // Package conformance cross-checks every transport in the repository —
-// in-process (mem), loopback TCP (tcp), distributed TCP (tcp.Join) and the
+// in-process (mem), shared memory (shm), loopback TCP (tcp), distributed
+// TCP (tcp.Join, both over shm pair segments and forced pure-TCP) and the
 // virtual-time simulator (simnet) — against a common model: randomly
 // generated message programs whose outcome is computable from MPI matching
 // semantics (per-(source, destination, tag) FIFO). Any divergence in
@@ -14,6 +15,7 @@ import (
 
 	"github.com/aapc-sched/aapcsched/internal/mpi"
 	"github.com/aapc-sched/aapcsched/internal/mpi/mem"
+	"github.com/aapc-sched/aapcsched/internal/mpi/shm"
 	"github.com/aapc-sched/aapcsched/internal/mpi/tcp"
 	"github.com/aapc-sched/aapcsched/internal/simnet"
 	"github.com/aapc-sched/aapcsched/internal/topology"
@@ -139,40 +141,14 @@ func transports(t *testing.T, n int) map[string]func(fn func(c mpi.Comm) error) 
 		"tcp": func(fn func(c mpi.Comm) error) error {
 			return tcp.Run(n, fn)
 		},
-		"tcp-distributed": func(fn func(c mpi.Comm) error) error {
-			coord, err := tcp.StartCoordinator("127.0.0.1:0", n)
-			if err != nil {
-				return err
-			}
-			var wg sync.WaitGroup
-			errs := make(chan error, n)
-			for i := 0; i < n; i++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					c, closeFn, err := tcp.Join(coord.Addr())
-					if err != nil {
-						errs <- err
-						return
-					}
-					err = fn(c)
-					// Close only after every rank is done with the mesh.
-					if berr := c.Barrier(); err == nil {
-						err = berr
-					}
-					closeFn()
-					errs <- err
-				}()
-			}
-			wg.Wait()
-			var first error
-			for i := 0; i < n; i++ {
-				if err := <-errs; err != nil && first == nil {
-					first = err
-				}
-			}
-			return first
+		"shm": func(fn func(c mpi.Comm) error) error {
+			return shm.Run(n, fn)
 		},
+		// With every test joiner on one host, the default distributed mesh
+		// links all pairs through shm segments; the second variant forces
+		// the pure socket mesh so both data planes stay covered.
+		"tcp-distributed":     distributedRunner(n),
+		"tcp-distributed-tcp": distributedRunner(n, tcp.WithoutSharedMemory()),
 		"simnet": func(fn func(c mpi.Comm) error) error {
 			w, err := simnet.NewWorld(simnet.Config{Graph: starGraph(n)})
 			if err != nil {
@@ -180,6 +156,45 @@ func transports(t *testing.T, n int) map[string]func(fn func(c mpi.Comm) error) 
 			}
 			return w.Run(fn)
 		},
+	}
+}
+
+// distributedRunner builds a runner over a real coordinator rendezvous with
+// n concurrent joiners.
+func distributedRunner(n int, opts ...tcp.JoinOption) func(fn func(c mpi.Comm) error) error {
+	return func(fn func(c mpi.Comm) error) error {
+		coord, err := tcp.StartCoordinator("127.0.0.1:0", n)
+		if err != nil {
+			return err
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c, closeFn, err := tcp.Join(coord.Addr(), opts...)
+				if err != nil {
+					errs <- err
+					return
+				}
+				err = fn(c)
+				// Close only after every rank is done with the mesh.
+				if berr := c.Barrier(); err == nil {
+					err = berr
+				}
+				closeFn()
+				errs <- err
+			}()
+		}
+		wg.Wait()
+		var first error
+		for i := 0; i < n; i++ {
+			if err := <-errs; err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
 	}
 }
 

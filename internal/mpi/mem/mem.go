@@ -62,6 +62,7 @@ func (w *World) putOp(o *op) {
 	o.buf = nil
 	o.ctx = 0
 	o.deliveredAt = 0
+	o.dt = mpi.Datatype{}
 	w.opsMu.Lock()
 	if len(w.opFree) < opFreeCap {
 		w.opFree = append(w.opFree, o)
@@ -100,6 +101,34 @@ type op struct {
 	// it as the payload's arrival, the send side as the moment its message
 	// left (which a late-drained Wait would otherwise misreport).
 	deliveredAt float64
+	// dt, when non-zero, describes buf's strided layout (typed operation).
+	// The match moves bytes straight between the two layouts — the mem
+	// transport's single copy, with no pack staging in between.
+	dt mpi.Datatype
+}
+
+// size returns the operation's payload capacity in bytes.
+func (o *op) size() int {
+	if o.dt.IsZero() {
+		return len(o.buf)
+	}
+	return o.dt.Size()
+}
+
+// place moves the matched message's bytes from the send op into the recv
+// op, honoring either side's layout, and returns the bytes placed.
+func place(recv, send *op) int {
+	if recv.dt.IsZero() && send.dt.IsZero() {
+		return copy(recv.buf, send.buf)
+	}
+	rdt, sdt := recv.dt, send.dt
+	if rdt.IsZero() {
+		rdt = mpi.Contiguous(len(recv.buf))
+	}
+	if sdt.IsZero() {
+		sdt = mpi.Contiguous(len(send.buf))
+	}
+	return mpi.CopyTyped(recv.buf, rdt, send.buf, sdt)
 }
 
 func (o *op) Wait() error {
@@ -274,22 +303,40 @@ func (r errRequest) Wait() error                     { return r.err }
 func (r errRequest) WaitTimeout(time.Duration) error { return r.err }
 
 func (c *comm) Isend(buf []byte, dst, tag int) mpi.Request {
-	return c.isend(buf, dst, tag, 0)
+	return c.isend(buf, mpi.Datatype{}, dst, tag, 0)
+}
+
+// IsendTyped starts a typed send (mpi.TypedComm): the match copies straight
+// from the dt-described blocks of base into the receiver's layout.
+func (c *comm) IsendTyped(base []byte, dt mpi.Datatype, dst, tag int) mpi.Request {
+	if err := dt.Validate(len(base)); err != nil {
+		return errRequest{err}
+	}
+	return c.isend(base, dt, dst, tag, 0)
+}
+
+// IrecvTyped posts a typed receive (mpi.TypedComm).
+func (c *comm) IrecvTyped(base []byte, dt mpi.Datatype, src, tag int) mpi.Request {
+	if err := dt.Validate(len(base)); err != nil {
+		return errRequest{err}
+	}
+	return c.irecv(base, dt, src, tag)
 }
 
 // IsendTraced attaches a trace context to the message (mpi.TracedSender):
 // the matching receive op learns it, and its delivery time, at match time.
 func (c *comm) IsendTraced(buf []byte, dst, tag int, ctx uint64) mpi.Request {
-	return c.isend(buf, dst, tag, ctx)
+	return c.isend(buf, mpi.Datatype{}, dst, tag, ctx)
 }
 
-func (c *comm) isend(buf []byte, dst, tag int, ctx uint64) mpi.Request {
+func (c *comm) isend(buf []byte, dt mpi.Datatype, dst, tag int, ctx uint64) mpi.Request {
 	if err := mpi.CheckRank(c, dst); err != nil {
 		return errRequest{err}
 	}
 	key := matchKey{src: c.rank, dst: dst, tag: tag}
 	w := c.w
 	me := w.getOp(buf)
+	me.dt = dt
 	me.ctx = ctx
 	w.mu.Lock()
 	if err := w.deadErrLocked(c.rank, dst); err != nil {
@@ -301,7 +348,7 @@ func (c *comm) isend(buf []byte, dst, tag int, ctx uint64) mpi.Request {
 		peer := q[0]
 		q[0] = nil
 		w.recvs[key] = q[1:]
-		n := copy(peer.buf, buf)
+		n := place(peer, me)
 		if ctx != 0 {
 			// The channel send below orders these writes before the
 			// receiver's WaitTraced read. The sender's op gets the same
@@ -312,9 +359,9 @@ func (c *comm) isend(buf []byte, dst, tag int, ctx uint64) mpi.Request {
 			me.deliveredAt = peer.deliveredAt
 		}
 		w.mu.Unlock()
-		if n < len(buf) {
+		if n < me.size() {
 			err := fmt.Errorf("mem: send %d->%d tag %d truncated: receiver buffer %d < %d",
-				key.src, key.dst, key.tag, len(peer.buf), len(buf))
+				key.src, key.dst, key.tag, peer.size(), me.size())
 			peer.done <- err
 			me.done <- err
 		} else {
@@ -329,28 +376,33 @@ func (c *comm) isend(buf []byte, dst, tag int, ctx uint64) mpi.Request {
 }
 
 func (c *comm) Irecv(buf []byte, src, tag int) mpi.Request {
+	return c.irecv(buf, mpi.Datatype{}, src, tag)
+}
+
+func (c *comm) irecv(buf []byte, dt mpi.Datatype, src, tag int) mpi.Request {
 	if err := mpi.CheckRank(c, src); err != nil {
 		return errRequest{err}
 	}
 	key := matchKey{src: src, dst: c.rank, tag: tag}
 	w := c.w
 	me := w.getOp(buf)
+	me.dt = dt
 	w.mu.Lock()
 	if q := w.sends[key]; len(q) > 0 {
 		// A message sent before the source died still matches.
 		peer := q[0]
 		q[0] = nil
 		w.sends[key] = q[1:]
-		n := copy(buf, peer.buf)
+		n := place(me, peer)
 		if peer.ctx != 0 {
 			me.ctx = peer.ctx
 			me.deliveredAt = c.Now()
 			peer.deliveredAt = me.deliveredAt
 		}
 		w.mu.Unlock()
-		if n < len(peer.buf) {
+		if n < peer.size() {
 			err := fmt.Errorf("mem: send %d->%d tag %d truncated: receiver buffer %d < %d",
-				key.src, key.dst, key.tag, len(buf), len(peer.buf))
+				key.src, key.dst, key.tag, me.size(), peer.size())
 			peer.done <- err
 			me.done <- err
 		} else {

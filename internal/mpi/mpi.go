@@ -17,7 +17,10 @@
 // Algorithms written once against Comm run on all three.
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // AnyTag is not supported: all receives match an explicit (source, tag)
 // pair. The constant exists to document that choice.
@@ -49,6 +52,23 @@ type Comm interface {
 	// Now returns the communicator's notion of elapsed time in seconds:
 	// wall-clock time for real transports, virtual time for the simulator.
 	Now() float64
+}
+
+// Flusher is the optional Comm extension for transports with an
+// asynchronous writer stage between Isend and the wire. Flush(dst) returns
+// once every send this rank has issued toward dst before the call has been
+// handed to the kernel — a wire-entry ordering point — without waiting for
+// delivery acknowledgement. d > 0 bounds the wait (typed *TimeoutError on
+// expiry); d <= 0 waits until the watermark is reached or the transport
+// reports failure.
+//
+// Schedulers use it to order "my previous message entered the link before
+// this synchronization" at the cost of a local writer handoff instead of a
+// delivery round trip. Transports whose Isend hands bytes over
+// synchronously (mem, simulators) simply don't implement it; callers fall
+// back to waiting the request.
+type Flusher interface {
+	Flush(dst int, d time.Duration) error
 }
 
 // Send is a blocking send: Isend immediately waited.

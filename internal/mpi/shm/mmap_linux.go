@@ -1,0 +1,58 @@
+//go:build linux
+
+package shm
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// MapAvailable reports whether cross-process segment mapping is supported
+// on this platform and the segment directory is writable. Rendezvous uses
+// it to advertise shm capability; pairs fall back to TCP when either side
+// lacks it.
+func MapAvailable() bool {
+	st, err := os.Stat(SegmentDir())
+	return err == nil && st.IsDir()
+}
+
+// SegmentDir returns the directory for pair segment files: tmpfs when
+// available (true shared memory, never touching a disk), the default temp
+// directory otherwise.
+func SegmentDir() string {
+	if st, err := os.Stat("/dev/shm"); err == nil && st.IsDir() {
+		return "/dev/shm"
+	}
+	return os.TempDir()
+}
+
+// MapSegment maps size bytes of the file at path into memory, shared with
+// every other process mapping the same file. With create set the file is
+// created (truncating any stale leftover) and sized; otherwise it must
+// already exist. The returned func unmaps.
+func MapSegment(path string, size int, create bool) ([]byte, func() error, error) {
+	flags := os.O_RDWR
+	if create {
+		flags |= os.O_CREATE | os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o600)
+	if err != nil {
+		return nil, nil, fmt.Errorf("shm: open segment: %w", err)
+	}
+	defer f.Close() // the mapping outlives the descriptor
+	if create {
+		if err := f.Truncate(int64(size)); err != nil {
+			os.Remove(path)
+			return nil, nil, fmt.Errorf("shm: size segment: %w", err)
+		}
+	}
+	seg, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		if create {
+			os.Remove(path)
+		}
+		return nil, nil, fmt.Errorf("shm: mmap segment: %w", err)
+	}
+	return seg, func() error { return syscall.Munmap(seg) }, nil
+}

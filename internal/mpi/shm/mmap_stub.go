@@ -1,0 +1,21 @@
+//go:build !linux
+
+package shm
+
+import (
+	"fmt"
+	"os"
+)
+
+// MapAvailable reports whether cross-process segment mapping is supported:
+// never, on platforms without the mmap implementation. Co-located pairs
+// fall back to TCP.
+func MapAvailable() bool { return false }
+
+// SegmentDir returns the directory pair segment files would live in.
+func SegmentDir() string { return os.TempDir() }
+
+// MapSegment is unavailable on this platform.
+func MapSegment(path string, size int, create bool) ([]byte, func() error, error) {
+	return nil, nil, fmt.Errorf("shm: cross-process segments are not supported on this platform")
+}

@@ -1,0 +1,126 @@
+package shm
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// Cross-process pair segments: one mapped file carries a duplex link — two
+// rings, one per direction — between two co-located ranks. The lower rank
+// creates and initializes the file; the higher rank attaches once the
+// creator has published the magic word (stored last, so an attacher never
+// observes a half-initialized segment).
+
+// pairMagic marks a fully initialized pair segment.
+const pairMagic = 0xAA9C5E6D00C0FFEE
+
+// pairHeader is the segment preamble holding the magic word.
+const pairHeader = 8
+
+// pairSegmentSize returns the file size for two rings of ringBytes data
+// capacity each, keeping every ring base 8-aligned.
+func pairSegmentSize(ringBytes int) int {
+	ringSeg := headerBytes + (ringBytes+7)&^7
+	return pairHeader + 2*ringSeg
+}
+
+// attachPair slices a mapped segment into its two rings.
+func attachPair(seg []byte, ringBytes int) (loToHi, hiToLo *Ring, err error) {
+	ringSeg := headerBytes + (ringBytes+7)&^7
+	if len(seg) != pairSegmentSize(ringBytes) {
+		return nil, nil, fmt.Errorf("shm: pair segment is %d bytes, want %d", len(seg), pairSegmentSize(ringBytes))
+	}
+	loToHi, err = Attach(seg[pairHeader : pairHeader+ringSeg])
+	if err != nil {
+		return nil, nil, err
+	}
+	hiToLo, err = Attach(seg[pairHeader+ringSeg:])
+	if err != nil {
+		return nil, nil, err
+	}
+	return loToHi, hiToLo, nil
+}
+
+// CreatePairConn creates the pair segment file at path (truncating any
+// stale leftover) and returns the creator's — the lower rank's — side of
+// the link. The file is unlinked when the conn closes.
+func CreatePairConn(path string, ringBytes int, local, remote string) (*Conn, error) {
+	if ringBytes < MinSegment {
+		ringBytes = MinSegment
+	}
+	size := pairSegmentSize(ringBytes)
+	seg, unmap, err := MapSegment(path, size, true)
+	if err != nil {
+		return nil, err
+	}
+	cleanup := func() error {
+		unmapErr := unmap()
+		if rmErr := os.Remove(path); unmapErr == nil {
+			unmapErr = rmErr
+		}
+		return unmapErr
+	}
+	loToHi, hiToLo, err := attachPair(seg, ringBytes)
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+	// Publish: attachers spin until they observe the magic word, which is
+	// stored only after both rings are laid out over zeroed pages.
+	atomic.StoreUint64((*uint64)(unsafe.Pointer(&seg[0])), pairMagic)
+	c := NewConn(hiToLo, loToHi, local, remote)
+	c.cleanup = cleanup
+	return c, nil
+}
+
+// OpenPairConn attaches to a pair segment created by the peer and returns
+// the attacher's — the higher rank's — side of the link, retrying until the
+// creator has published the segment or the timeout elapses.
+func OpenPairConn(path string, ringBytes int, local, remote string, timeout time.Duration) (*Conn, error) {
+	if ringBytes < MinSegment {
+		ringBytes = MinSegment
+	}
+	size := pairSegmentSize(ringBytes)
+	deadline := time.Now().Add(timeout)
+	for {
+		seg, unmap, err := tryOpenPair(path, size)
+		if err == nil {
+			loToHi, hiToLo, err := attachPair(seg, ringBytes)
+			if err != nil {
+				unmap()
+				return nil, err
+			}
+			c := NewConn(loToHi, hiToLo, local, remote)
+			c.cleanup = unmap
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("shm: attaching %s: %w", path, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// tryOpenPair maps the segment if it exists at full size with the magic
+// word published.
+func tryOpenPair(path string, size int) ([]byte, func() error, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.Size() != int64(size) {
+		return nil, nil, fmt.Errorf("shm: segment %s is %d bytes, want %d", path, st.Size(), size)
+	}
+	seg, unmap, err := MapSegment(path, size, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	if atomic.LoadUint64((*uint64)(unsafe.Pointer(&seg[0]))) != pairMagic {
+		unmap()
+		return nil, nil, fmt.Errorf("shm: segment %s not yet published", path)
+	}
+	return seg, unmap, nil
+}

@@ -1,0 +1,231 @@
+// Package shm is the shared-memory transport for co-located ranks: lock-free
+// single-producer single-consumer byte rings laid out over a flat memory
+// segment, so two ranks on one host exchange AAPC blocks through memcpy and
+// two atomic cursor updates — no socket, no syscall, no kernel transition.
+//
+// The same ring code runs over two kinds of segment:
+//
+//   - in-process heap segments (NewSegment), used by the shm World for
+//     co-located ranks inside one process and by the tests/benchmarks;
+//   - cross-process /dev/shm mappings (MapSegment, linux), used by the
+//     distributed harness to link co-located aapcnode processes — the
+//     rendezvous host map decides which pairs qualify.
+//
+// Synchronization is pure atomics on the segment's header words, so a ring
+// works identically whether its two ends live in one address space or in two
+// processes mapping the same file.
+package shm
+
+import (
+	"fmt"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Segment header layout (all uint64, 8-byte aligned):
+//
+//	[0:8]   tail — bytes produced (written by the producer only)
+//	[8:16]  head — bytes consumed (written by the consumer only)
+//	[16:24] closed — non-zero once either side closed the ring
+//
+// Cursors grow monotonically; data lives at segment[headerBytes:] and is
+// addressed modulo the data capacity. Producer and consumer each own one
+// cursor, so the only cross-party communication is one release-store and
+// one acquire-load per operation.
+const headerBytes = 24
+
+// MinSegment is the smallest usable segment: header plus room for one
+// maximally small record.
+const MinSegment = headerBytes + recordHeader + 1
+
+// recordHeader is the per-record framing in record mode: u32 payload size
+// plus i64 tag.
+const recordHeader = 12
+
+// Ring is one directed SPSC byte ring over a segment. At most one goroutine
+// (or process) may produce and one consume; the two may differ freely.
+type Ring struct {
+	tail   *uint64
+	head   *uint64
+	closed *uint64
+	data   []byte
+	cap    uint64
+}
+
+// NewSegment allocates an in-process segment of the given total size,
+// 8-byte aligned (backed by a uint64 slice, which the Go allocator aligns).
+func NewSegment(size int) []byte {
+	if size < MinSegment {
+		size = MinSegment
+	}
+	words := make([]uint64, (size+7)/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), size)
+}
+
+// Attach interprets seg as a ring segment. Both ends of a pair attach to
+// the same memory; the roles (producer vs consumer) are fixed by the
+// caller's protocol, not by Attach.
+func Attach(seg []byte) (*Ring, error) {
+	if len(seg) < MinSegment {
+		return nil, fmt.Errorf("shm: segment %d bytes, need at least %d", len(seg), MinSegment)
+	}
+	if uintptr(unsafe.Pointer(&seg[0]))%8 != 0 {
+		return nil, fmt.Errorf("shm: segment is not 8-byte aligned")
+	}
+	return &Ring{
+		tail:   (*uint64)(unsafe.Pointer(&seg[0])),
+		head:   (*uint64)(unsafe.Pointer(&seg[8])),
+		closed: (*uint64)(unsafe.Pointer(&seg[16])),
+		data:   seg[headerBytes:],
+		cap:    uint64(len(seg) - headerBytes),
+	}, nil
+}
+
+// NewRing allocates an in-process ring whose data area holds at least
+// dataCap bytes.
+func NewRing(dataCap int) *Ring {
+	r, err := Attach(NewSegment(headerBytes + dataCap))
+	if err != nil {
+		panic(err) // unreachable: NewSegment guarantees size and alignment
+	}
+	return r
+}
+
+// Close marks the ring closed, waking both ends' polling loops. Idempotent,
+// callable from either side.
+func (r *Ring) Close() { atomic.StoreUint64(r.closed, 1) }
+
+// Closed reports whether either side closed the ring.
+func (r *Ring) Closed() bool { return atomic.LoadUint64(r.closed) != 0 }
+
+// Buffered returns the bytes currently readable.
+func (r *Ring) Buffered() int {
+	return int(atomic.LoadUint64(r.tail) - atomic.LoadUint64(r.head))
+}
+
+// Free returns the bytes currently writable.
+func (r *Ring) Free() int { return int(r.cap) - r.Buffered() }
+
+// copyIn copies p into the data area starting at absolute cursor pos,
+// wrapping once. Caller has established that the space is free.
+func (r *Ring) copyIn(pos uint64, p []byte) {
+	off := pos % r.cap
+	n := copy(r.data[off:], p)
+	if n < len(p) {
+		copy(r.data, p[n:])
+	}
+}
+
+// copyOut copies into p from the data area starting at absolute cursor
+// pos, wrapping once. Caller has established that the bytes are readable.
+func (r *Ring) copyOut(pos uint64, p []byte) {
+	off := pos % r.cap
+	n := copy(p, r.data[off:])
+	if n < len(p) {
+		copy(p[n:], r.data)
+	}
+}
+
+// TryWrite copies up to len(p) bytes into the ring (stream mode) and
+// returns the count, 0 when the ring is full. Producer side only.
+func (r *Ring) TryWrite(p []byte) int {
+	tail := atomic.LoadUint64(r.tail)
+	head := atomic.LoadUint64(r.head) // acquire: consumer freed this space
+	free := int(r.cap - (tail - head))
+	n := min(free, len(p))
+	if n <= 0 {
+		return 0
+	}
+	r.copyIn(tail, p[:n])
+	atomic.StoreUint64(r.tail, tail+uint64(n)) // release: publish the bytes
+	return n
+}
+
+// TryRead pops up to len(p) bytes from the ring (stream mode) and returns
+// the count, 0 when the ring is empty. Consumer side only.
+func (r *Ring) TryRead(p []byte) int {
+	head := atomic.LoadUint64(r.head)
+	tail := atomic.LoadUint64(r.tail) // acquire: producer published these bytes
+	avail := int(tail - head)
+	n := min(avail, len(p))
+	if n <= 0 {
+		return 0
+	}
+	r.copyOut(head, p[:n])
+	atomic.StoreUint64(r.head, head+uint64(n)) // release: free the space
+	return n
+}
+
+// WriteRecord publishes one [size u32][tag i64][payload] record atomically:
+// either the whole record enters the ring or nothing does (false when free
+// space is insufficient). Record and stream modes must not be mixed on one
+// ring. Producer side only.
+func (r *Ring) WriteRecord(tag int64, p []byte) bool {
+	need := recordHeader + len(p)
+	if need > int(r.cap) {
+		return false // can never fit; caller must bound record sizes
+	}
+	tail := atomic.LoadUint64(r.tail)
+	head := atomic.LoadUint64(r.head)
+	if int(r.cap-(tail-head)) < need {
+		return false
+	}
+	var hdr [recordHeader]byte
+	putU32(hdr[0:4], uint32(len(p)))
+	putU64(hdr[4:12], uint64(tag))
+	r.copyIn(tail, hdr[:])
+	r.copyIn(tail+recordHeader, p)
+	atomic.StoreUint64(r.tail, tail+uint64(need))
+	return true
+}
+
+// PeekRecord returns the next record's tag and payload size without
+// consuming it; ok is false when the ring holds no complete record.
+// Consumer side only.
+func (r *Ring) PeekRecord() (tag int64, size int, ok bool) {
+	head := atomic.LoadUint64(r.head)
+	tail := atomic.LoadUint64(r.tail)
+	if tail-head < recordHeader {
+		return 0, 0, false
+	}
+	var hdr [recordHeader]byte
+	r.copyOut(head, hdr[:])
+	return int64(getU64(hdr[4:12])), int(getU32(hdr[0:4])), true
+}
+
+// ReadRecord consumes the next record, copying its payload into p (which
+// must hold PeekRecord's size). Consumer side only.
+func (r *Ring) ReadRecord(p []byte) {
+	head := atomic.LoadUint64(r.head)
+	r.copyOut(head+recordHeader, p)
+	atomic.StoreUint64(r.head, head+recordHeader+uint64(len(p)))
+}
+
+// Byte-order helpers (little endian, matching the tcp frame encoding).
+// encoding/binary is avoided here only to keep the record path free of
+// bounds-check noise in the hot loop; the layouts are identical.
+func putU32(b []byte, v uint32) {
+	_ = b[3]
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func getU32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte) uint64 {
+	_ = b[7]
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

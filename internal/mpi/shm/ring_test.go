@@ -1,0 +1,222 @@
+package shm
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/aapc-sched/aapcsched/internal/mpi"
+)
+
+// TestRingStreamSPSC stresses the stream mode across two goroutines with a
+// tiny ring, forcing many wraparounds, and checks the byte stream arrives
+// intact and in order.
+func TestRingStreamSPSC(t *testing.T) {
+	const total = 1 << 20
+	r := NewRing(257) // prime-ish, never divides the write sizes
+	src := make([]byte, total)
+	rng := rand.New(rand.NewSource(7))
+	rng.Read(src)
+	go func() {
+		sent := 0
+		for sent < total {
+			chunk := min(1+rng.Intn(400), total-sent)
+			for chunk > 0 {
+				n := r.TryWrite(src[sent : sent+chunk])
+				sent += n
+				chunk -= n
+				if n == 0 {
+					runtime.Gosched()
+				}
+			}
+		}
+	}()
+	got := make([]byte, 0, total)
+	buf := make([]byte, 313)
+	for len(got) < total {
+		n := r.TryRead(buf)
+		if n == 0 {
+			runtime.Gosched()
+			continue
+		}
+		got = append(got, buf[:n]...)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("stream corrupted through ring")
+	}
+}
+
+// TestRingRecords checks record-mode framing: tags and payloads round-trip,
+// partial space rejects the whole record, and order is preserved.
+func TestRingRecords(t *testing.T) {
+	r := NewRing(64)
+	if ok := r.WriteRecord(7, make([]byte, 64)); ok {
+		t.Fatal("record larger than free space was accepted")
+	}
+	if !r.WriteRecord(1, []byte("alpha")) || !r.WriteRecord(2, []byte("")) || !r.WriteRecord(3, []byte("beta")) {
+		t.Fatal("records rejected with free space available")
+	}
+	want := []struct {
+		tag     int64
+		payload string
+	}{{1, "alpha"}, {2, ""}, {3, "beta"}}
+	for _, w := range want {
+		tag, size, ok := r.PeekRecord()
+		if !ok || tag != w.tag || size != len(w.payload) {
+			t.Fatalf("peek = (%d, %d, %v), want (%d, %d, true)", tag, size, ok, w.tag, len(w.payload))
+		}
+		buf := make([]byte, size)
+		r.ReadRecord(buf)
+		if string(buf) != w.payload {
+			t.Fatalf("record %d payload %q, want %q", w.tag, buf, w.payload)
+		}
+	}
+	if _, _, ok := r.PeekRecord(); ok {
+		t.Fatal("peek succeeded on drained ring")
+	}
+}
+
+// TestRingTypedRecords round-trips a strided layout through a record:
+// gather on write, scatter on read, wrapping the ring boundary.
+func TestRingTypedRecords(t *testing.T) {
+	r := NewRing(100)
+	// Fill and drain once so the next record wraps.
+	if !r.WriteRecord(0, make([]byte, 60)) {
+		t.Fatal("warm-up record rejected")
+	}
+	r.ReadRecord(make([]byte, 60))
+
+	src := make([]byte, 64)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	sdt := mpi.Vector(4, 8, 16) // blocks 0-7, 16-23, 32-39, 48-55
+	if !r.writeRecordTyped(5, src, sdt) {
+		t.Fatal("typed record rejected")
+	}
+	tag, size, ok := r.PeekRecord()
+	if !ok || tag != 5 || size != 32 {
+		t.Fatalf("peek = (%d, %d, %v), want (5, 32, true)", tag, size, ok)
+	}
+	dst := make([]byte, 64)
+	ddt := mpi.Vector(8, 4, 8) // different geometry, same 32 bytes
+	if placed := r.readRecordTyped(dst, ddt); placed != 32 {
+		t.Fatalf("placed %d bytes, want 32", placed)
+	}
+	packedSrc := make([]byte, 32)
+	sdt.Pack(packedSrc, src)
+	packedDst := make([]byte, 32)
+	ddt.Pack(packedDst, dst)
+	if !bytes.Equal(packedSrc, packedDst) {
+		t.Fatal("typed record did not preserve packed byte order")
+	}
+}
+
+// TestRingReadRecordTypedTruncates checks a too-small receive layout
+// consumes the whole record and reports the shorter placement.
+func TestRingReadRecordTypedTruncates(t *testing.T) {
+	r := NewRing(128)
+	if !r.WriteRecord(1, []byte("0123456789")) {
+		t.Fatal("record rejected")
+	}
+	dst := make([]byte, 4)
+	if placed := r.readRecordTyped(dst, mpi.Contiguous(4)); placed != 4 {
+		t.Fatalf("placed %d, want 4", placed)
+	}
+	if string(dst) != "0123" {
+		t.Fatalf("dst = %q", dst)
+	}
+	if r.Buffered() != 0 {
+		t.Fatalf("truncating read left %d bytes buffered", r.Buffered())
+	}
+}
+
+// TestConnPipe moves a large random stream both ways through a Pipe pair
+// concurrently.
+func TestConnPipe(t *testing.T) {
+	a, b := Pipe(512)
+	defer a.Close()
+	defer b.Close()
+	const total = 1 << 19
+	payload := make([]byte, total)
+	rand.New(rand.NewSource(11)).Read(payload)
+	check := func(w, r *Conn) chan error {
+		errs := make(chan error, 1)
+		go func() {
+			if _, err := w.Write(payload); err != nil {
+				errs <- err
+				return
+			}
+			errs <- nil
+		}()
+		go func() {
+			got := make([]byte, total)
+			if _, err := io.ReadFull(r, got); err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, payload) {
+				errs <- io.ErrUnexpectedEOF
+				return
+			}
+			errs <- nil
+		}()
+		return errs
+	}
+	e1 := check(a, b)
+	e2 := check(b, a)
+	for i := 0; i < 4; i++ {
+		select {
+		case err := <-e1:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case err := <-e2:
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestConnCloseSemantics checks TCP-like teardown: buffered bytes remain
+// readable after the peer closes, then EOF; writes to a closed conn fail.
+func TestConnCloseSemantics(t *testing.T) {
+	a, b := Pipe(512)
+	if _, err := a.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(b, got); err != nil || string(got) != "tail" {
+		t.Fatalf("read after close = %q, %v", got, err)
+	}
+	if _, err := b.Read(got); err != io.EOF {
+		t.Fatalf("read past close = %v, want EOF", err)
+	}
+	if _, err := b.Write([]byte("x")); err == nil {
+		t.Fatal("write to closed pipe succeeded")
+	}
+}
+
+// TestConnReadDeadline checks an expired deadline surfaces a timeout error
+// and a cleared deadline restores blocking reads.
+func TestConnReadDeadline(t *testing.T) {
+	a, b := Pipe(512)
+	defer a.Close()
+	defer b.Close()
+	b.SetReadDeadline(time.Now().Add(5 * time.Millisecond))
+	buf := make([]byte, 1)
+	_, err := b.Read(buf)
+	if nerr, ok := err.(interface{ Timeout() bool }); !ok || !nerr.Timeout() {
+		t.Fatalf("read past deadline = %v, want timeout", err)
+	}
+	b.SetReadDeadline(time.Time{})
+	go a.Write([]byte("k"))
+	if _, err := io.ReadFull(b, buf); err != nil || buf[0] != 'k' {
+		t.Fatalf("read after clearing deadline = %q, %v", buf, err)
+	}
+}

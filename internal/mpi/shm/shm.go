@@ -1,0 +1,491 @@
+package shm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/aapc-sched/aapcsched/internal/mpi"
+	"github.com/aapc-sched/aapcsched/internal/obsv"
+)
+
+// World is a set of co-located communicator endpoints exchanging bytes
+// through per-pair shared-memory rings. Two data paths exist:
+//
+//   - single-copy handoff: when a matching receive is already posted, the
+//     send scatters straight from the sender's (possibly strided) layout
+//     into the receiver's layout — one memcpy, no staging anywhere;
+//   - ring transit: with no receive posted, the payload is gathered into
+//     the directed pair's ring segment and scattered out at match time —
+//     the exact path co-located aapcnode processes use across /dev/shm.
+//
+// A scheduled all-to-all pre-posts its receives, so its steady state rides
+// the single-copy path; the ring absorbs sender/receiver skew.
+type World struct {
+	n     int
+	start time.Time
+	cfg   Config
+
+	pairs []pair // directed, indexed src*n+dst
+
+	barMu   sync.Mutex
+	barrier *barrierGen
+
+	// Counters (see Stats).
+	directPlacements atomic.Uint64
+	ringTransits     atomic.Uint64
+	overflowStages   atomic.Uint64
+	bytesDirect      atomic.Uint64
+	bytesRing        atomic.Uint64
+
+	closeOnce sync.Once
+
+	// opsMu guards opFree, the freelist of completed operations, recycled
+	// exactly as in the mem transport: only a consumed Wait returns an op.
+	opsMu  sync.Mutex
+	opFree []*op
+}
+
+// Config carries the world options.
+type Config struct {
+	// RingBytes is the data capacity of each directed pair's ring segment.
+	RingBytes int
+	// Recorder, when non-nil, receives the world's transport counters
+	// (aapc_shm_*) at Close.
+	Recorder *obsv.Recorder
+}
+
+// Option customizes a world.
+type Option func(*Config)
+
+// defaultRingBytes absorbs a few large blocks of sender/receiver skew per
+// pair without growing the overflow path.
+const defaultRingBytes = 1 << 18
+
+// RingBytes sets the per-pair ring segment data capacity.
+func RingBytes(n int) Option {
+	return func(c *Config) { c.RingBytes = n }
+}
+
+// WithRecorder mirrors the world's transport counters into r when the world
+// closes.
+func WithRecorder(r *obsv.Recorder) Option {
+	return func(c *Config) { c.Recorder = r }
+}
+
+// Stats is a snapshot of the world's data-path counters.
+type Stats struct {
+	// DirectPlacements counts sends placed straight into a posted receive:
+	// the single-copy handoff path.
+	DirectPlacements uint64
+	// RingTransits counts messages staged through a pair's ring segment.
+	RingTransits uint64
+	// OverflowStages counts messages staged on the heap because the pair's
+	// ring was full (or the record exceeded its capacity).
+	OverflowStages uint64
+	// BytesDirect and BytesRing split the payload bytes by path; overflow
+	// stages count toward BytesRing (they take the same two-copy route).
+	BytesDirect uint64
+	BytesRing   uint64
+}
+
+// Stats returns a snapshot of the world's counters.
+func (w *World) Stats() Stats {
+	return Stats{
+		DirectPlacements: w.directPlacements.Load(),
+		RingTransits:     w.ringTransits.Load(),
+		OverflowStages:   w.overflowStages.Load(),
+		BytesDirect:      w.bytesDirect.Load(),
+		BytesRing:        w.bytesRing.Load(),
+	}
+}
+
+// Close flushes the world's counters into the configured Recorder.
+// Idempotent; the comms remain usable (shm has no connections to tear
+// down), but counters recorded after Close are not mirrored.
+func (w *World) Close() {
+	w.closeOnce.Do(func() {
+		if r := w.cfg.Recorder; r != nil {
+			s := w.Stats()
+			c := r.Counters()
+			c.Add("aapc_shm_direct_placements_total", s.DirectPlacements)
+			c.Add("aapc_shm_ring_transits_total", s.RingTransits)
+			c.Add("aapc_shm_overflow_stages_total", s.OverflowStages)
+			c.Add("aapc_shm_direct_bytes_total", s.BytesDirect)
+			c.Add("aapc_shm_ring_bytes_total", s.BytesRing)
+		}
+	})
+}
+
+// barrierGen is one generation of the barrier (same scheme as mem).
+type barrierGen struct {
+	waiting int
+	release chan struct{}
+}
+
+// stagedFrame is one message popped out of the ring (or staged past a full
+// ring) awaiting its receive. The send op completes at match time, so the
+// observable completion semantics are identical on every path.
+type stagedFrame struct {
+	buf  []byte
+	send *op
+}
+
+// pair is the matching state of one directed (src, dst) link. The ring is
+// allocated on first staging need; a world whose receives always win the
+// race never pays for segments.
+type pair struct {
+	mu      sync.Mutex
+	ring    *Ring
+	ringOps []*op         // send ops staged in the ring, in record order
+	recvs   map[int][]*op // posted receives by tag, FIFO
+	arrived map[int][]stagedFrame
+}
+
+// op is one pending operation; it doubles as the request (see mem.op, whose
+// freelist discipline this copies: Wait recycles, WaitTimeout abandons).
+type op struct {
+	w    *World
+	buf  []byte
+	dt   mpi.Datatype // zero = untyped
+	done chan error
+}
+
+// size returns the operation's payload capacity in bytes.
+func (o *op) size() int {
+	if o.dt.IsZero() {
+		return len(o.buf)
+	}
+	return o.dt.Size()
+}
+
+// layout returns the op's datatype, substituting the contiguous identity
+// for untyped operations.
+func (o *op) layout() mpi.Datatype {
+	if o.dt.IsZero() {
+		return mpi.Contiguous(len(o.buf))
+	}
+	return o.dt
+}
+
+func (o *op) Wait() error {
+	err := <-o.done
+	o.w.putOp(o)
+	return err
+}
+
+// WaitTimeout bounds the wait (mpi.TimedRequest). A timed-out op is
+// abandoned, never recycled: a late match may still write its buffer.
+func (o *op) WaitTimeout(d time.Duration) error {
+	if d <= 0 {
+		return o.Wait()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case err := <-o.done:
+		o.w.putOp(o)
+		return err
+	case <-t.C:
+		return &mpi.TimeoutError{Op: "wait", After: d}
+	}
+}
+
+const opFreeCap = 1024
+
+func (w *World) getOp(buf []byte, dt mpi.Datatype) *op {
+	w.opsMu.Lock()
+	if k := len(w.opFree); k > 0 {
+		o := w.opFree[k-1]
+		w.opFree[k-1] = nil
+		w.opFree = w.opFree[:k-1]
+		w.opsMu.Unlock()
+		o.buf = buf
+		o.dt = dt
+		return o
+	}
+	w.opsMu.Unlock()
+	return &op{w: w, buf: buf, dt: dt, done: make(chan error, 1)}
+}
+
+func (w *World) putOp(o *op) {
+	o.buf = nil
+	o.dt = mpi.Datatype{}
+	w.opsMu.Lock()
+	if len(w.opFree) < opFreeCap {
+		w.opFree = append(w.opFree, o)
+	}
+	w.opsMu.Unlock()
+}
+
+// NewWorld creates a world of n co-located ranks and returns one
+// communicator per rank.
+func NewWorld(n int, opts ...Option) []mpi.Comm {
+	comms, _ := NewWorldComms(n, opts...)
+	return comms
+}
+
+// NewWorldComms returns the comms and the world itself, for callers that
+// need the stats or Close.
+func NewWorldComms(n int, opts ...Option) ([]mpi.Comm, *World) {
+	if n < 1 {
+		panic(fmt.Sprintf("shm: world size %d", n))
+	}
+	cfg := Config{RingBytes: defaultRingBytes}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.RingBytes < MinSegment {
+		cfg.RingBytes = MinSegment
+	}
+	w := &World{
+		n:       n,
+		start:   time.Now(),
+		cfg:     cfg,
+		pairs:   make([]pair, n*n),
+		barrier: &barrierGen{release: make(chan struct{})},
+	}
+	comms := make([]mpi.Comm, n)
+	for i := range comms {
+		comms[i] = &comm{w: w, rank: i}
+	}
+	return comms, w
+}
+
+// Run starts fn once per rank on its own goroutine, waits for all of them,
+// closes the world and returns the first non-nil error.
+func Run(n int, fn func(c mpi.Comm) error, opts ...Option) error {
+	comms, w := NewWorldComms(n, opts...)
+	defer w.Close()
+	errs := make(chan error, n)
+	for _, c := range comms {
+		go func(c mpi.Comm) { errs <- fn(c) }(c)
+	}
+	var first error
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// pair returns the directed pair state for src->dst.
+func (w *World) pair(src, dst int) *pair { return &w.pairs[src*w.n+dst] }
+
+type comm struct {
+	w    *World
+	rank int
+}
+
+func (c *comm) Rank() int    { return c.rank }
+func (c *comm) Size() int    { return c.w.n }
+func (c *comm) Now() float64 { return time.Since(c.w.start).Seconds() }
+
+// errRequest is an already-failed request.
+type errRequest struct{ err error }
+
+func (r errRequest) Wait() error                     { return r.err }
+func (r errRequest) WaitTimeout(time.Duration) error { return r.err }
+
+// truncErr builds the truncation error shared by every path; the message
+// shape matches the mem transport's so callers can treat them uniformly.
+func truncErr(src, dst, tag, recvCap, sentSize int) error {
+	return fmt.Errorf("shm: send %d->%d tag %d truncated: receiver buffer %d < %d",
+		src, dst, tag, recvCap, sentSize)
+}
+
+// complete signals both ends of a match: err on truncation, nil otherwise.
+func complete(recv, send *op, err error) {
+	recv.done <- err
+	send.done <- err
+}
+
+func (c *comm) Isend(buf []byte, dst, tag int) mpi.Request {
+	return c.isend(buf, mpi.Datatype{}, dst, tag)
+}
+
+// IsendTyped starts a typed send (mpi.TypedComm): the dt-described blocks
+// of base are gathered straight into the receiver's layout or the pair
+// ring, never through a pack buffer.
+func (c *comm) IsendTyped(base []byte, dt mpi.Datatype, dst, tag int) mpi.Request {
+	if err := dt.Validate(len(base)); err != nil {
+		return errRequest{err}
+	}
+	return c.isend(base, dt, dst, tag)
+}
+
+// IrecvTyped posts a typed receive (mpi.TypedComm).
+func (c *comm) IrecvTyped(base []byte, dt mpi.Datatype, src, tag int) mpi.Request {
+	if err := dt.Validate(len(base)); err != nil {
+		return errRequest{err}
+	}
+	return c.irecv(base, dt, src, tag)
+}
+
+func (c *comm) isend(buf []byte, dt mpi.Datatype, dst, tag int) mpi.Request {
+	if err := mpi.CheckRank(c, dst); err != nil {
+		return errRequest{err}
+	}
+	w := c.w
+	me := w.getOp(buf, dt)
+	p := w.pair(c.rank, dst)
+	p.mu.Lock()
+	// Single-copy handoff: a receive is already posted, so the payload
+	// moves straight between the two user layouts. Matching order is safe
+	// because a receive is only ever posted after the pair's ring and
+	// arrived queues were drained of its tag (see irecv).
+	if q := p.recvs[tag]; len(q) > 0 {
+		peer := q[0]
+		q[0] = nil
+		p.recvs[tag] = q[1:]
+		n := mpi.CopyTyped(peer.buf, peer.layout(), me.buf, me.layout())
+		sentSize, recvCap := me.size(), peer.size()
+		p.mu.Unlock()
+		w.directPlacements.Add(1)
+		w.bytesDirect.Add(uint64(n))
+		if n < sentSize {
+			complete(peer, me, truncErr(c.rank, dst, tag, recvCap, sentSize))
+		} else {
+			complete(peer, me, nil)
+		}
+		return me
+	}
+	// No receive posted: stage through the pair's ring segment. The send
+	// op completes at match time (not at staging), keeping completion and
+	// truncation semantics identical on every path.
+	if p.ring == nil {
+		p.ring = NewRing(w.cfg.RingBytes)
+	}
+	if p.ring.writeRecordTyped(int64(tag), me.buf, me.layout()) {
+		p.ringOps = append(p.ringOps, me)
+		w.ringTransits.Add(1)
+		w.bytesRing.Add(uint64(me.size()))
+		p.mu.Unlock()
+		return me
+	}
+	// Ring full (receiver far behind) or record larger than the segment:
+	// drain the ring into the arrived queues to free space, then retry,
+	// falling back to a heap stage so progress never depends on ring size.
+	p.drainRingLocked()
+	if p.ring.writeRecordTyped(int64(tag), me.buf, me.layout()) {
+		p.ringOps = append(p.ringOps, me)
+		w.ringTransits.Add(1)
+		w.bytesRing.Add(uint64(me.size()))
+		p.mu.Unlock()
+		return me
+	}
+	staged := make([]byte, me.size())
+	me.layout().Pack(staged, me.buf)
+	if p.arrived == nil {
+		p.arrived = make(map[int][]stagedFrame)
+	}
+	p.arrived[tag] = append(p.arrived[tag], stagedFrame{buf: staged, send: me})
+	w.overflowStages.Add(1)
+	w.bytesRing.Add(uint64(len(staged)))
+	p.mu.Unlock()
+	return me
+}
+
+// drainRingLocked pops every complete record out of the pair's ring into
+// the arrived queues, preserving order. Caller holds p.mu.
+func (p *pair) drainRingLocked() {
+	for {
+		tag, size, ok := p.ring.PeekRecord()
+		if !ok {
+			return
+		}
+		buf := make([]byte, size)
+		p.ring.ReadRecord(buf)
+		send := p.ringOps[0]
+		p.ringOps[0] = nil
+		p.ringOps = p.ringOps[1:]
+		if p.arrived == nil {
+			p.arrived = make(map[int][]stagedFrame)
+		}
+		p.arrived[int(tag)] = append(p.arrived[int(tag)], stagedFrame{buf: buf, send: send})
+	}
+}
+
+func (c *comm) Irecv(buf []byte, src, tag int) mpi.Request {
+	return c.irecv(buf, mpi.Datatype{}, src, tag)
+}
+
+func (c *comm) irecv(buf []byte, dt mpi.Datatype, src, tag int) mpi.Request {
+	if err := mpi.CheckRank(c, src); err != nil {
+		return errRequest{err}
+	}
+	w := c.w
+	me := w.getOp(buf, dt)
+	p := w.pair(src, c.rank)
+	p.mu.Lock()
+	// Heap-staged frames first: they precede anything still in the ring.
+	if af := p.arrived[tag]; len(af) > 0 {
+		fr := af[0]
+		af[0] = stagedFrame{}
+		p.arrived[tag] = af[1:]
+		n := me.layout().Unpack(me.buf, fr.buf)
+		recvCap := me.size()
+		p.mu.Unlock()
+		if n < len(fr.buf) {
+			complete(me, fr.send, truncErr(src, c.rank, tag, recvCap, len(fr.buf)))
+		} else {
+			complete(me, fr.send, nil)
+		}
+		return me
+	}
+	// Drain the ring looking for this tag; records for other tags move to
+	// the arrived queues in order. On a tag hit the payload scatters
+	// straight from the shared segment into the receive layout.
+	for p.ring != nil {
+		rtag, size, ok := p.ring.PeekRecord()
+		if !ok {
+			break
+		}
+		send := p.ringOps[0]
+		p.ringOps[0] = nil
+		p.ringOps = p.ringOps[1:]
+		if int(rtag) == tag {
+			placed := p.ring.readRecordTyped(me.buf, me.layout())
+			recvCap := me.size()
+			p.mu.Unlock()
+			if placed < size {
+				complete(me, send, truncErr(src, c.rank, tag, recvCap, size))
+			} else {
+				complete(me, send, nil)
+			}
+			return me
+		}
+		buf := make([]byte, size)
+		p.ring.ReadRecord(buf)
+		if p.arrived == nil {
+			p.arrived = make(map[int][]stagedFrame)
+		}
+		p.arrived[int(rtag)] = append(p.arrived[int(rtag)], stagedFrame{buf: buf, send: send})
+	}
+	// Nothing pending for this tag anywhere: post the receive. The next
+	// send with this tag takes the single-copy path.
+	if p.recvs == nil {
+		p.recvs = make(map[int][]*op)
+	}
+	p.recvs[tag] = append(p.recvs[tag], me)
+	p.mu.Unlock()
+	return me
+}
+
+func (c *comm) Barrier() error {
+	w := c.w
+	w.barMu.Lock()
+	gen := w.barrier
+	gen.waiting++
+	if gen.waiting == w.n {
+		close(gen.release)
+		w.barrier = &barrierGen{release: make(chan struct{})}
+		w.barMu.Unlock()
+		return nil
+	}
+	w.barMu.Unlock()
+	<-gen.release
+	return nil
+}

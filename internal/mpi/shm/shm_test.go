@@ -1,0 +1,316 @@
+package shm
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/aapc-sched/aapcsched/internal/mpi"
+	"github.com/aapc-sched/aapcsched/internal/obsv"
+)
+
+// fill gives message (src, dst) a distinctive payload.
+func fill(buf []byte, src, dst int) {
+	for i := range buf {
+		buf[i] = byte(src*37 + dst*11 + i)
+	}
+}
+
+// TestWorldAlltoall runs a hand-rolled all-to-all over the world and checks
+// every payload lands intact: receives posted first, so the single-copy
+// path carries the steady state.
+func TestWorldAlltoall(t *testing.T) {
+	const n, size = 5, 1536
+	comms, w := NewWorldComms(n)
+	err := runAll(comms, func(c mpi.Comm) error {
+		me := c.Rank()
+		recvBufs := make([][]byte, n)
+		var reqs []mpi.Request
+		for src := 0; src < n; src++ {
+			recvBufs[src] = make([]byte, size)
+			reqs = append(reqs, c.Irecv(recvBufs[src], src, 3))
+		}
+		if err := c.Barrier(); err != nil {
+			//aapc:allow waitcheck the test aborts; posted receives die with the world
+			return err
+		}
+		for dst := 0; dst < n; dst++ {
+			buf := make([]byte, size)
+			fill(buf, me, dst)
+			reqs = append(reqs, c.Isend(buf, dst, 3))
+		}
+		if err := mpi.WaitAll(reqs); err != nil {
+			return err
+		}
+		for src := 0; src < n; src++ {
+			want := make([]byte, size)
+			fill(want, src, me)
+			if !bytes.Equal(recvBufs[src], want) {
+				return fmt.Errorf("rank %d: payload from %d corrupted", me, src)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.Stats()
+	if s.DirectPlacements == 0 {
+		t.Fatalf("no direct placements with receives pre-posted: %+v", s)
+	}
+}
+
+// TestWorldRingPath forces the ring transit path — sends before any receive
+// is posted — mixing records that fit the deliberately tiny ring with
+// records that exceed its whole capacity (heap overflow), and checks
+// payloads and FIFO order survive across both staging routes.
+func TestWorldRingPath(t *testing.T) {
+	comms, w := NewWorldComms(2, RingBytes(256))
+	snd, rcv := comms[0], comms[1]
+	sizes := []int{96, 96, 300, 96, 300, 96} // 300+12 > 256: heap overflow
+	var sends []mpi.Request
+	for k, size := range sizes {
+		buf := make([]byte, size)
+		fill(buf, k, 0)
+		sends = append(sends, snd.Isend(buf, 1, 0))
+	}
+	for k, size := range sizes {
+		got := make([]byte, size)
+		if err := mpi.Recv(rcv, got, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, size)
+		fill(want, k, 0)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("message %d out of order or corrupted through ring", k)
+		}
+	}
+	if err := mpi.WaitAll(sends); err != nil {
+		t.Fatal(err)
+	}
+	s := w.Stats()
+	if s.RingTransits == 0 || s.OverflowStages == 0 {
+		t.Fatalf("expected both ring transits and overflow stages: %+v", s)
+	}
+	if s.DirectPlacements != 0 {
+		t.Fatalf("unexpected direct placements: %+v", s)
+	}
+}
+
+// TestWorldTypedStridedRoundTrip sends a strided view and receives into a
+// differently-strided view; the packed byte streams must be identical. Both
+// the direct path (receive first) and the ring path (send first) are
+// checked.
+func TestWorldTypedStridedRoundTrip(t *testing.T) {
+	for _, recvFirst := range []bool{true, false} {
+		name := "ring-first"
+		if recvFirst {
+			name = "recv-first"
+		}
+		t.Run(name, func(t *testing.T) {
+			comms, _ := NewWorldComms(2)
+			src := make([]byte, 256)
+			for i := range src {
+				src[i] = byte(i * 3)
+			}
+			sdt := mpi.Vector(8, 16, 32)
+			dst := make([]byte, 512)
+			ddt := mpi.Vector(16, 8, 32)
+
+			var rr, sr mpi.Request
+			if recvFirst {
+				rr = mpi.IrecvTyped(comms[1], dst, ddt, 0, 9)
+				sr = mpi.IsendTyped(comms[0], src, sdt, 1, 9)
+			} else {
+				sr = mpi.IsendTyped(comms[0], src, sdt, 1, 9)
+				rr = mpi.IrecvTyped(comms[1], dst, ddt, 0, 9)
+			}
+			if err := sr.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			if err := rr.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			wantPacked := make([]byte, sdt.Size())
+			sdt.Pack(wantPacked, src)
+			gotPacked := make([]byte, ddt.Size())
+			ddt.Pack(gotPacked, dst)
+			if !bytes.Equal(wantPacked, gotPacked) {
+				t.Fatal("strided payload corrupted")
+			}
+		})
+	}
+}
+
+// TestWorldTruncation checks both ends of a truncated transfer fail with
+// the same diagnostic, on the direct and the ring path alike (matching the
+// mem transport's semantics).
+func TestWorldTruncation(t *testing.T) {
+	for _, recvFirst := range []bool{true, false} {
+		comms, _ := NewWorldComms(2)
+		var rr, sr mpi.Request
+		if recvFirst {
+			rr = comms[1].Irecv(make([]byte, 4), 0, 1)
+			sr = comms[0].Isend(make([]byte, 16), 1, 1)
+		} else {
+			sr = comms[0].Isend(make([]byte, 16), 1, 1)
+			rr = comms[1].Irecv(make([]byte, 4), 0, 1)
+		}
+		serr, rerr := sr.Wait(), rr.Wait()
+		for _, err := range []error{serr, rerr} {
+			if err == nil || !strings.Contains(err.Error(), "truncated") {
+				t.Fatalf("recvFirst=%v: truncation error = %v / %v", recvFirst, serr, rerr)
+			}
+		}
+	}
+}
+
+// TestWorldRecorderCounters checks Close mirrors the data-path counters.
+func TestWorldRecorderCounters(t *testing.T) {
+	rec := obsv.NewRecorder(0)
+	comms, w := NewWorldComms(2, WithRecorder(rec))
+	rr := comms[1].Irecv(make([]byte, 8), 0, 0)
+	if err := mpi.Send(comms[0], make([]byte, 8), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rr.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	sr := comms[0].Isend(make([]byte, 8), 1, 0) // stages via ring, completes at match
+	if err := mpi.Recv(comms[1], make([]byte, 8), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	counters := rec.Counters().Snapshot()
+	if counters["aapc_shm_direct_placements_total"] != 1 {
+		t.Fatalf("direct placements counter = %d, want 1", counters["aapc_shm_direct_placements_total"])
+	}
+	if counters["aapc_shm_ring_transits_total"] != 1 {
+		t.Fatalf("ring transits counter = %d, want 1", counters["aapc_shm_ring_transits_total"])
+	}
+}
+
+// TestWorldSelfSend checks rank-to-self transfers work on both paths.
+func TestWorldSelfSend(t *testing.T) {
+	comms := NewWorld(1)
+	c := comms[0]
+	buf := make([]byte, 32)
+	fill(buf, 0, 0)
+	sr := c.Isend(buf, 0, 5) // no receive posted: rides the ring
+	got := make([]byte, 32)
+	if err := mpi.Recv(c, got, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Fatal("self-send corrupted")
+	}
+}
+
+// TestPairConnCrossMapped runs both ends of a mapped pair segment — the
+// cross-process link, exercised here from two goroutines mapping the same
+// file — and checks a bidirectional exchange.
+func TestPairConnCrossMapped(t *testing.T) {
+	if !MapAvailable() {
+		t.Skip("cross-process segments unsupported on this platform")
+	}
+	path := filepath.Join(t.TempDir(), "pairseg")
+	const ringBytes = 4096
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	wg.Add(2)
+	go func() { // lower rank: creator
+		defer wg.Done()
+		conn, err := CreatePairConn(path, ringBytes, "shm:0", "shm:1")
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer conn.Close()
+		if _, err := conn.Write([]byte("from-lo")); err != nil {
+			errs <- err
+			return
+		}
+		got := make([]byte, 7)
+		if err := readFull(conn, got); err != nil {
+			errs <- err
+			return
+		}
+		if string(got) != "from-hi" {
+			errs <- fmt.Errorf("creator read %q", got)
+			return
+		}
+		errs <- nil
+	}()
+	go func() { // higher rank: attacher
+		defer wg.Done()
+		conn, err := OpenPairConn(path, ringBytes, "shm:1", "shm:0", 5*time.Second)
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer conn.Close()
+		got := make([]byte, 7)
+		if err := readFull(conn, got); err != nil {
+			errs <- err
+			return
+		}
+		if string(got) != "from-lo" {
+			errs <- fmt.Errorf("attacher read %q", got)
+			return
+		}
+		if _, err := conn.Write([]byte("from-hi")); err != nil {
+			errs <- err
+			return
+		}
+		errs <- nil
+	}()
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The creator's Close unlinked the segment file.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("segment file not removed: %v", err)
+	}
+}
+
+// readFull fills buf from the conn.
+func readFull(c *Conn, buf []byte) error {
+	got := 0
+	for got < len(buf) {
+		n, err := c.Read(buf[got:])
+		if err != nil {
+			return err
+		}
+		got += n
+	}
+	return nil
+}
+
+// runAll runs fn once per comm and returns the first error.
+func runAll(comms []mpi.Comm, fn func(c mpi.Comm) error) error {
+	errs := make(chan error, len(comms))
+	for _, c := range comms {
+		go func(c mpi.Comm) { errs <- fn(c) }(c)
+	}
+	var first error
+	for range comms {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,68 @@
+package shm
+
+import (
+	"sync/atomic"
+
+	"github.com/aapc-sched/aapcsched/internal/mpi"
+)
+
+// Typed record operations: gather a strided datatype straight into the ring
+// and scatter a record straight out into one, so a strided send or receive
+// through the shm transport costs exactly one memcpy per block on each side
+// of the segment — never a pack/unpack staging buffer.
+
+// writeRecordTyped publishes one record whose payload is the dt-described
+// bytes of base, gathered block by block into the ring. False when free
+// space is insufficient. Producer side only.
+func (r *Ring) writeRecordTyped(tag int64, base []byte, dt mpi.Datatype) bool {
+	size := dt.Size()
+	need := recordHeader + size
+	if need > int(r.cap) {
+		return false
+	}
+	tail := atomic.LoadUint64(r.tail)
+	head := atomic.LoadUint64(r.head)
+	if int(r.cap-(tail-head)) < need {
+		return false
+	}
+	var hdr [recordHeader]byte
+	putU32(hdr[0:4], uint32(size))
+	putU64(hdr[4:12], uint64(tag))
+	r.copyIn(tail, hdr[:])
+	pos := tail + recordHeader
+	for i := 0; i < dt.Count(); i++ {
+		b := dt.Block(base, i)
+		r.copyIn(pos, b)
+		pos += uint64(len(b))
+	}
+	atomic.StoreUint64(r.tail, tail+uint64(need))
+	return true
+}
+
+// readRecordTyped consumes the next record, scattering its payload into the
+// dt-described blocks of base, and returns the bytes placed: the smaller of
+// the record's payload and dt.Size(). The whole record is consumed even
+// when the layout is too small to hold it (the caller reports truncation).
+// Consumer side only; the caller has established via PeekRecord that a
+// record is present.
+func (r *Ring) readRecordTyped(base []byte, dt mpi.Datatype) int {
+	head := atomic.LoadUint64(r.head)
+	var hdr [recordHeader]byte
+	r.copyOut(head, hdr[:])
+	size := int(getU32(hdr[0:4]))
+	pos := head + recordHeader
+	remaining := size
+	placed := 0
+	for i := 0; i < dt.Count() && remaining > 0; i++ {
+		b := dt.Block(base, i)
+		if len(b) > remaining {
+			b = b[:remaining]
+		}
+		r.copyOut(pos, b)
+		pos += uint64(len(b))
+		remaining -= len(b)
+		placed += len(b)
+	}
+	atomic.StoreUint64(r.head, head+recordHeader+uint64(size))
+	return placed
+}

@@ -3,12 +3,16 @@ package tcp
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"github.com/aapc-sched/aapcsched/internal/mpi"
+	"github.com/aapc-sched/aapcsched/internal/mpi/shm"
 )
 
 // Distributed mode: each rank lives in its own process (or goroutine) and
@@ -22,11 +26,17 @@ import (
 // length-prefixed):
 //
 //  1. Each joiner opens its own listener, dials the coordinator and sends
-//     its listener address.
+//     its listener address, its host identity, and whether it can map
+//     shared-memory segments.
 //  2. After n joiners, the coordinator assigns ranks in arrival order and
-//     sends every joiner its rank, the world size, and all addresses.
-//  3. Joiner r dials every peer p < r (sending the usual from/to
-//     handshake) and accepts connections from every peer p > r.
+//     sends every joiner its rank, the world size, a world token, and all
+//     addresses, hosts and shm flags — the host map.
+//  3. Joiner r links to every peer: pairs on the same host with shm
+//     capability on both sides ride a shared-memory pair segment (the
+//     lower rank creates it under the world token, the higher rank
+//     attaches), so co-located traffic never touches a socket; everyone
+//     else dials (r > p, with the usual from/to handshake) or accepts
+//     (r < p) TCP exactly as before.
 //
 // Failure model: the coordinator tracks joiner health during rendezvous —
 // a joiner that disconnects before the world is complete, or a rendezvous
@@ -89,9 +99,11 @@ func (c *Coordinator) Close() error { return c.ln.Close() }
 func (c *Coordinator) serve() {
 	defer c.ln.Close()
 	type joinMsg struct {
-		conn net.Conn
-		addr string
-		err  error
+		conn  net.Conn
+		addr  string
+		host  string
+		shmOK bool
+		err   error
 	}
 	// Buffered generously so late accept/handshake goroutines never block
 	// after serve has returned.
@@ -107,12 +119,20 @@ func (c *Coordinator) serve() {
 			go func(conn net.Conn) {
 				conn.SetReadDeadline(time.Now().Add(10 * time.Second))
 				addr, err := readString(conn)
+				var host string
+				if err == nil {
+					host, err = readString(conn)
+				}
+				var shmFlag uint32
+				if err == nil {
+					shmFlag, err = readUint32(conn)
+				}
 				conn.SetReadDeadline(time.Time{})
 				if err != nil {
 					conn.Close()
 					return
 				}
-				joinCh <- joinMsg{conn: conn, addr: addr}
+				joinCh <- joinMsg{conn: conn, addr: addr, host: host, shmOK: shmFlag != 0}
 			}(conn)
 		}
 	}()
@@ -123,8 +143,10 @@ func (c *Coordinator) serve() {
 		timeoutCh = tm.C
 	}
 	type joiner struct {
-		conn net.Conn
-		addr string
+		conn  net.Conn
+		addr  string
+		host  string
+		shmOK bool
 	}
 	joiners := make([]joiner, 0, c.n)
 	abort := func(reason error) {
@@ -146,7 +168,7 @@ func (c *Coordinator) serve() {
 				return
 			}
 			idx := len(joiners)
-			joiners = append(joiners, joiner{conn: m.conn, addr: m.addr})
+			joiners = append(joiners, joiner{conn: m.conn, addr: m.addr, host: m.host, shmOK: m.shmOK})
 			// Health monitor: joiners send nothing after their address, so
 			// a successful read — or any error — before rendezvous
 			// completion means the joiner is gone.
@@ -164,16 +186,36 @@ func (c *Coordinator) serve() {
 			return
 		}
 	}
+	token := worldToken(c.ln.Addr().String())
 	for rank, j := range joiners {
 		err := writeUint32(j.conn, uint32(rank))
 		if err == nil {
 			err = writeUint32(j.conn, uint32(c.n))
+		}
+		if err == nil {
+			err = writeString(j.conn, token)
 		}
 		for _, peer := range joiners {
 			if err != nil {
 				break
 			}
 			err = writeString(j.conn, peer.addr)
+		}
+		for _, peer := range joiners {
+			if err != nil {
+				break
+			}
+			err = writeString(j.conn, peer.host)
+		}
+		for _, peer := range joiners {
+			if err != nil {
+				break
+			}
+			flag := uint32(0)
+			if peer.shmOK {
+				flag = 1
+			}
+			err = writeUint32(j.conn, flag)
 		}
 		if err != nil {
 			// A joiner died mid-book: abort the rest so nobody hangs
@@ -186,22 +228,88 @@ func (c *Coordinator) serve() {
 	c.done <- nil
 }
 
+// JoinOption customizes a Join.
+type JoinOption func(*joinConfig)
+
+type joinConfig struct {
+	host   string
+	useShm bool
+}
+
+// WithHostID overrides the host identity advertised to the coordinator.
+// Ranks advertising the same identity (and shm capability) link through
+// shared-memory pair segments instead of sockets. Defaults to the AAPC_HOST
+// environment variable, then os.Hostname.
+func WithHostID(host string) JoinOption {
+	return func(c *joinConfig) { c.host = host }
+}
+
+// WithoutSharedMemory disables shared-memory links for this rank: every
+// pair involving it uses TCP even when co-located. The choice is advertised
+// through the rendezvous, so both sides of each pair agree.
+func WithoutSharedMemory() JoinOption {
+	return func(c *joinConfig) { c.useShm = false }
+}
+
+// shmLinkRingBytes is the per-direction ring capacity of a distributed
+// shared-memory link: a few large frames of headroom so the writer rarely
+// stalls behind the reader.
+const shmLinkRingBytes = 1 << 20
+
+// shmAttachTimeout bounds the higher rank's wait for the lower rank to
+// publish their pair segment.
+const shmAttachTimeout = 10 * time.Second
+
+// worldToken derives the filename-safe token namespacing one world's pair
+// segments from the coordinator's listen address.
+func worldToken(coordAddr string) string {
+	h := fnv.New64a()
+	h.Write([]byte(coordAddr))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// segmentPath names the pair segment file for ranks lo < hi of the world
+// identified by token.
+func segmentPath(token string, lo, hi int) string {
+	return filepath.Join(shm.SegmentDir(), fmt.Sprintf("aapc-pair-%s-%d-%d", token, lo, hi))
+}
+
+// hostIdentity resolves the identity advertised to the coordinator.
+func hostIdentity(cfg *joinConfig) string {
+	if cfg.host != "" {
+		return cfg.host
+	}
+	if h := os.Getenv("AAPC_HOST"); h != "" {
+		return h
+	}
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return "unknown-host"
+}
+
 // Join connects this process to a distributed world through the coordinator
 // and returns its communicator once the full mesh is up. The cleanup
-// function closes all sockets. Join fails fast if the coordinator is
+// function closes all links. Join fails fast if the coordinator is
 // unreachable; use JoinRetry to tolerate a coordinator that starts later.
-func Join(coordAddr string) (mpi.Comm, func() error, error) {
-	return join(coordAddr, 0)
+func Join(coordAddr string, opts ...JoinOption) (mpi.Comm, func() error, error) {
+	return join(coordAddr, 0, opts...)
 }
 
 // JoinRetry is Join with startup retry: dialing the coordinator is retried
 // with exponential backoff until it succeeds or the window elapses. Errors
 // after the dial (an aborted rendezvous, a failed mesh) are not retried.
-func JoinRetry(coordAddr string, window time.Duration) (mpi.Comm, func() error, error) {
-	return join(coordAddr, window)
+func JoinRetry(coordAddr string, window time.Duration, opts ...JoinOption) (mpi.Comm, func() error, error) {
+	return join(coordAddr, window, opts...)
 }
 
-func join(coordAddr string, retryWindow time.Duration) (mpi.Comm, func() error, error) {
+func join(coordAddr string, retryWindow time.Duration, opts ...JoinOption) (mpi.Comm, func() error, error) {
+	cfg := joinConfig{useShm: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	host := hostIdentity(&cfg)
+	shmOK := cfg.useShm && shm.MapAvailable() && os.Getenv("AAPC_SHM") != "0"
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, nil, err
@@ -211,7 +319,18 @@ func join(coordAddr string, retryWindow time.Duration) (mpi.Comm, func() error, 
 		ln.Close()
 		return nil, nil, err
 	}
-	if err := writeString(coord, ln.Addr().String()); err != nil {
+	err = writeString(coord, ln.Addr().String())
+	if err == nil {
+		err = writeString(coord, host)
+	}
+	if err == nil {
+		flag := uint32(0)
+		if shmOK {
+			flag = 1
+		}
+		err = writeUint32(coord, flag)
+	}
+	if err != nil {
 		ln.Close()
 		coord.Close()
 		return nil, nil, err
@@ -234,6 +353,12 @@ func join(coordAddr string, retryWindow time.Duration) (mpi.Comm, func() error, 
 		return nil, nil, err
 	}
 	rank, n := int(rank32), int(n32)
+	token, err := readString(coord)
+	if err != nil {
+		ln.Close()
+		coord.Close()
+		return nil, nil, err
+	}
 	addrs := make([]string, n)
 	for i := range addrs {
 		if addrs[i], err = readString(coord); err != nil {
@@ -242,18 +367,46 @@ func join(coordAddr string, retryWindow time.Duration) (mpi.Comm, func() error, 
 			return nil, nil, err
 		}
 	}
+	hosts := make([]string, n)
+	for i := range hosts {
+		if hosts[i], err = readString(coord); err != nil {
+			ln.Close()
+			coord.Close()
+			return nil, nil, err
+		}
+	}
+	shmFlags := make([]bool, n)
+	for i := range shmFlags {
+		flag, err := readUint32(coord)
+		if err != nil {
+			ln.Close()
+			coord.Close()
+			return nil, nil, err
+		}
+		shmFlags[i] = flag != 0
+	}
 	coord.Close()
+
+	// The host map decides each pair's medium from broadcast data alone, so
+	// both sides always agree: shared memory when co-located and capable on
+	// both ends, TCP otherwise.
+	useShm := make([]bool, n)
+	for p := 0; p < n; p++ {
+		useShm[p] = p != rank && shmFlags[p] && shmFlags[rank] && hosts[p] == hosts[rank]
+	}
 
 	ep := &endpoint{
 		rank:     rank,
 		n:        n,
 		start:    time.Now(),
 		conns:    make([]net.Conn, n),
+		shmLink:  useShm,
 		outq:     make([]*outQueue, n),
 		recvNext: make([]uint64, n),
 	}
 	ep.matcher = &matcher{
 		pool:    &ep.pool,
+		stats:   &ep.stats,
 		now:     func() float64 { return time.Since(ep.start).Seconds() },
 		arrived: make(map[matchKey][]arrivedMsg),
 		posted:  make(map[matchKey][]*recvOp),
@@ -262,19 +415,50 @@ func join(coordAddr string, retryWindow time.Duration) (mpi.Comm, func() error, 
 		ep.outq[p] = &outQueue{}
 	}
 
-	// Dial lower ranks; accept higher ranks. Run both sides concurrently to
-	// avoid rendezvous ordering deadlocks.
+	// Create the pair segments this rank owns (the lower rank of each
+	// co-located pair) before anything else: attachers poll for them, so
+	// publishing first keeps the mesh free of ordering deadlocks.
+	for p := rank + 1; p < n; p++ {
+		if !useShm[p] {
+			continue
+		}
+		conn, err := shm.CreatePairConn(segmentPath(token, rank, p), shmLinkRingBytes,
+			fmt.Sprintf("shm:%d", rank), fmt.Sprintf("shm:%d", p))
+		if err != nil {
+			ln.Close()
+			ep.close()
+			return nil, nil, fmt.Errorf("tcp: rank %d creating shm link to %d: %w", rank, p, err)
+		}
+		ep.conns[p] = conn
+		ep.stats.shmLinks.Add(1)
+	}
+
+	// Dial lower ranks (attaching shm segments for co-located ones); accept
+	// higher ranks over TCP. Run both sides concurrently to avoid
+	// rendezvous ordering deadlocks.
 	var wg sync.WaitGroup
 	errs := make(chan error, 2)
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
 		for p := 0; p < rank; p++ {
+			if useShm[p] {
+				conn, err := shm.OpenPairConn(segmentPath(token, p, rank), shmLinkRingBytes,
+					fmt.Sprintf("shm:%d", rank), fmt.Sprintf("shm:%d", p), shmAttachTimeout)
+				if err != nil {
+					errs <- fmt.Errorf("tcp: rank %d attaching shm link to %d: %w", rank, p, err)
+					return
+				}
+				ep.conns[p] = conn
+				ep.stats.shmLinks.Add(1)
+				continue
+			}
 			conn, err := net.Dial("tcp", addrs[p])
 			if err != nil {
 				errs <- fmt.Errorf("tcp: rank %d dialing %d: %w", rank, p, err)
 				return
 			}
+			tuneConn(conn)
 			if err := writeHandshake(conn, rank, p, hsInitial); err != nil {
 				errs <- err
 				return
@@ -284,12 +468,19 @@ func join(coordAddr string, retryWindow time.Duration) (mpi.Comm, func() error, 
 	}()
 	go func() {
 		defer wg.Done()
-		for i := 0; i < n-1-rank; i++ {
+		expect := 0
+		for p := rank + 1; p < n; p++ {
+			if !useShm[p] {
+				expect++
+			}
+		}
+		for i := 0; i < expect; i++ {
 			conn, err := ln.Accept()
 			if err != nil {
 				errs <- fmt.Errorf("tcp: rank %d accepting: %w", rank, err)
 				return
 			}
+			tuneConn(conn)
 			var hdr [handshakeLen]byte
 			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 				errs <- err
@@ -297,7 +488,7 @@ func join(coordAddr string, retryWindow time.Duration) (mpi.Comm, func() error, 
 			}
 			from := int(binary.LittleEndian.Uint32(hdr[0:4]))
 			to := int(binary.LittleEndian.Uint32(hdr[4:8]))
-			if to != rank || from <= rank || from >= n {
+			if to != rank || from <= rank || from >= n || useShm[from] {
 				errs <- fmt.Errorf("tcp: rank %d: bad mesh handshake %d->%d", rank, from, to)
 				return
 			}
@@ -353,6 +544,9 @@ type endpoint struct {
 	rank, n int
 	start   time.Time
 	conns   []net.Conn
+	// shmLink[p] marks the link to peer p as a shared-memory pair segment
+	// (co-located ranks); false means TCP.
+	shmLink []bool
 	outq    []*outQueue
 	// recvNext[p] is the next sequence number expected from peer p; only
 	// p's read loop touches entry p.
@@ -493,6 +687,11 @@ func (ep *endpoint) drain(p int) {
 				bytes += uint64(len(fr.buf))
 			}
 			ep.stats.bytesSent.Add(bytes)
+			if ep.shmLink != nil && ep.shmLink[p] {
+				ep.stats.shmBytesSent.Add(bytes)
+			} else {
+				ep.stats.tcpBytesSent.Add(bytes)
+			}
 		}
 		for _, fr := range batch {
 			if err != nil {
@@ -533,8 +732,17 @@ func (c *distComm) isend(buf []byte, dst, tag int, ctx uint64) mpi.Request {
 	if dst == c.ep.rank {
 		payload := c.ep.pool.get(len(buf))
 		copy(payload, buf)
+		if len(buf) > 0 {
+			c.ep.stats.payloadCopies.Add(1)
+		}
 		c.ep.matcher.deliver(matchKey{src: dst, tag: tag}, payload, ctx)
 		return errRequest{nil}
+	}
+	if len(buf) > 0 {
+		// The frame references the caller's slice until the vectored write
+		// completes — distributed peers do not retransmit, so like the
+		// in-process non-resilient mode every send borrows.
+		c.ep.stats.borrowedSends.Add(1)
 	}
 	q := c.ep.outq[dst]
 	q.mu.Lock()

@@ -2,18 +2,27 @@ package tcp
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
 	"github.com/aapc-sched/aapcsched/internal/alltoall"
 	"github.com/aapc-sched/aapcsched/internal/harness"
 	"github.com/aapc-sched/aapcsched/internal/mpi"
+	"github.com/aapc-sched/aapcsched/internal/mpi/shm"
 )
 
+// shmAvailableForTest mirrors the runtime gate Join applies when deciding
+// whether co-located pairs may use shared-memory segments.
+func shmAvailableForTest() bool {
+	return shm.MapAvailable() && os.Getenv("AAPC_SHM") != "0"
+}
+
 // joinWorld starts a coordinator and joins n endpoints concurrently (each
-// standing in for a separate process: Join uses only real sockets, no shared
-// memory).
-func joinWorld(t *testing.T, n int) ([]mpi.Comm, func()) {
+// standing in for a separate process). Everything rendezvouses over real
+// sockets; co-located pairs then link through shared-memory segments when
+// the platform supports it, unless opts say otherwise.
+func joinWorld(t *testing.T, n int, opts ...JoinOption) ([]mpi.Comm, func()) {
 	t.Helper()
 	coord, err := StartCoordinator("127.0.0.1:0", n)
 	if err != nil {
@@ -27,7 +36,7 @@ func joinWorld(t *testing.T, n int) ([]mpi.Comm, func()) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c, closeFn, err := Join(coord.Addr())
+			c, closeFn, err := Join(coord.Addr(), opts...)
 			if err != nil {
 				errs <- err
 				return
@@ -171,6 +180,184 @@ func TestDistributedScheduledAlltoall(t *testing.T) {
 	for i := 0; i < n; i++ {
 		if err := <-errs; err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+// TestDistributedShmLinkSelection checks the host map puts co-located
+// pairs on shared-memory segments (bytes flow over shm, not sockets), that
+// WithoutSharedMemory forces every pair back to TCP, and that both meshes
+// deliver the same traffic.
+func TestDistributedShmLinkSelection(t *testing.T) {
+	if !shmAvailableForTest() {
+		t.Skip("shared-memory segments unsupported on this platform")
+	}
+	for _, tc := range []struct {
+		name    string
+		opts    []JoinOption
+		wantShm bool
+	}{
+		{"shm-auto", nil, true},
+		{"tcp-forced", []JoinOption{WithoutSharedMemory()}, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 3
+			comms, cleanup := joinWorld(t, n, tc.opts...)
+			defer cleanup()
+			var wg sync.WaitGroup
+			errs := make(chan error, n)
+			for _, c := range comms {
+				wg.Add(1)
+				go func(c mpi.Comm) {
+					defer wg.Done()
+					next := (c.Rank() + 1) % n
+					prev := (c.Rank() + n - 1) % n
+					out := make([]byte, 2048)
+					for i := range out {
+						out[i] = byte(c.Rank() + i)
+					}
+					in := make([]byte, 2048)
+					if err := mpi.Sendrecv(c, out, next, 8, in, prev, 8); err != nil {
+						errs <- err
+						return
+					}
+					for i := range in {
+						if in[i] != byte(prev+i) {
+							errs <- fmt.Errorf("rank %d: corrupted byte %d", c.Rank(), i)
+							return
+						}
+					}
+					errs <- nil
+				}(c)
+			}
+			wg.Wait()
+			for i := 0; i < n; i++ {
+				if err := <-errs; err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, c := range comms {
+				s := c.(*distComm).TransportStats()
+				if tc.wantShm {
+					if s.ShmLinks != n-1 {
+						t.Fatalf("rank %d: %d shm links, want %d", c.Rank(), s.ShmLinks, n-1)
+					}
+					if s.ShmBytesSent == 0 || s.TCPBytesSent != 0 {
+						t.Fatalf("rank %d: byte split shm=%d tcp=%d, want all shm", c.Rank(), s.ShmBytesSent, s.TCPBytesSent)
+					}
+				} else {
+					if s.ShmLinks != 0 || s.ShmBytesSent != 0 {
+						t.Fatalf("rank %d: shm used with shm disabled: %+v", c.Rank(), s)
+					}
+					if s.TCPBytesSent == 0 {
+						t.Fatalf("rank %d: no TCP bytes recorded", c.Rank())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDistributedMixedHosts advertises two distinct host identities: pairs
+// sharing one ride shm, cross-host pairs stay on TCP, and the mesh still
+// delivers everything.
+func TestDistributedMixedHosts(t *testing.T) {
+	if !shmAvailableForTest() {
+		t.Skip("shared-memory segments unsupported on this platform")
+	}
+	const n = 4
+	coord, err := StartCoordinator("127.0.0.1:0", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms := make([]mpi.Comm, n)
+	closers := make([]func() error, n)
+	var wg sync.WaitGroup
+	joinErrs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Arrival order assigns ranks, so hosts interleave arbitrarily;
+			// what matters is two ranks per identity.
+			c, closeFn, err := Join(coord.Addr(), WithHostID(fmt.Sprintf("node%d", i%2)))
+			if err != nil {
+				joinErrs <- err
+				return
+			}
+			comms[c.Rank()] = c
+			closers[c.Rank()] = closeFn
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-joinErrs:
+		t.Fatal(err)
+	default:
+	}
+	defer func() {
+		for _, fn := range closers {
+			if fn != nil {
+				fn()
+			}
+		}
+	}()
+	errs := make(chan error, n)
+	for _, c := range comms {
+		wg.Add(1)
+		go func(c mpi.Comm) {
+			defer wg.Done()
+			// All-to-all so both shm and TCP pairs carry payload.
+			var reqs []mpi.Request
+			got := make([][]byte, n)
+			for p := 0; p < n; p++ {
+				if p == c.Rank() {
+					continue
+				}
+				got[p] = make([]byte, 512)
+				reqs = append(reqs, c.Irecv(got[p], p, 2))
+			}
+			for p := 0; p < n; p++ {
+				if p == c.Rank() {
+					continue
+				}
+				out := make([]byte, 512)
+				for i := range out {
+					out[i] = byte(c.Rank()*13 + i)
+				}
+				reqs = append(reqs, c.Isend(out, p, 2))
+			}
+			if err := mpi.WaitAll(reqs); err != nil {
+				errs <- err
+				return
+			}
+			for p := 0; p < n; p++ {
+				if p == c.Rank() {
+					continue
+				}
+				for i := range got[p] {
+					if got[p][i] != byte(p*13+i) {
+						errs <- fmt.Errorf("rank %d: corrupted payload from %d", c.Rank(), p)
+						return
+					}
+				}
+			}
+			errs <- nil
+		}(c)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range comms {
+		s := c.(*distComm).TransportStats()
+		if s.ShmLinks != 1 {
+			t.Fatalf("rank %d: %d shm links, want 1 (one co-located peer)", c.Rank(), s.ShmLinks)
+		}
+		if s.ShmBytesSent == 0 || s.TCPBytesSent == 0 {
+			t.Fatalf("rank %d: byte split shm=%d tcp=%d, want both non-zero", c.Rank(), s.ShmBytesSent, s.TCPBytesSent)
 		}
 	}
 }

@@ -50,6 +50,16 @@ type bufPool struct {
 	}
 }
 
+// poolAligned reports whether b's backing array is an exact pool class
+// (power-of-two capacity in the pooled range). Such a slice is what get()
+// would have handed out anyway, so the send path can borrow it directly
+// into a writev batch instead of copying it into a fresh pool buffer —
+// worthwhile even for control-sized (≤64B) messages.
+func poolAligned(b []byte) bool {
+	c := cap(b)
+	return c >= 1<<poolMinShift && c <= 1<<poolMaxShift && c&(c-1) == 0
+}
+
 // classFor returns the class index whose buffers hold n bytes, or -1 when n
 // is out of the pooled range.
 func classFor(n int) int {
@@ -65,6 +75,7 @@ func classFor(n int) int {
 
 // get returns a length-n buffer, recycled when a suitable one is pooled.
 // n == 0 returns nil (zero-length frames carry no payload).
+//
 //aapc:noalloc
 func (p *bufPool) get(n int) []byte {
 	c := classFor(n)
@@ -92,6 +103,7 @@ func (p *bufPool) get(n int) []byte {
 // put returns a buffer to its class. Buffers whose capacity is not an exact
 // class size (foreign allocations, oversize payloads) are dropped to the GC,
 // so put is safe to call on anything.
+//
 //aapc:noalloc
 func (p *bufPool) put(b []byte) {
 	c := cap(b)

@@ -165,6 +165,28 @@ type Stats struct {
 	// redial attempts.
 	BackoffSleeps uint64
 	BackoffNanos  uint64
+	// BorrowedSends counts data frames whose payload was borrowed from the
+	// caller's buffer straight into the writev batch (zero send-side
+	// copies); CopiedSends counts frames that went through a pooled send
+	// copy instead (small, non-pool-aligned buffers).
+	BorrowedSends uint64
+	CopiedSends   uint64
+	// PayloadCopies counts userspace copies of payload bytes anywhere on
+	// the data path: pooled send copies, self-send loopback packs, and
+	// match-time copies of frames that arrived before their receive was
+	// posted. On a steady-state scheduled run with pre-posted receives and
+	// borrowed sends it stays zero.
+	PayloadCopies uint64
+	// ZeroCopyRecvs counts data frames whose payload was read off the
+	// socket directly into the posted receive buffer (no staging copy).
+	ZeroCopyRecvs uint64
+	// ShmLinks counts mesh links riding shared-memory pair segments
+	// instead of sockets (distributed mode with co-located ranks);
+	// ShmBytesSent and TCPBytesSent split the distributed payload volume
+	// by link kind. All three stay zero for in-process worlds.
+	ShmLinks     uint64
+	ShmBytesSent uint64
+	TCPBytesSent uint64
 }
 
 // recovered reports whether any resilience machinery fired.
@@ -184,6 +206,13 @@ type stats struct {
 	dupDiscards       atomic.Uint64
 	backoffSleeps     atomic.Uint64
 	backoffNanos      atomic.Uint64
+	borrowedSends     atomic.Uint64
+	copiedSends       atomic.Uint64
+	payloadCopies     atomic.Uint64
+	zeroCopyRecvs     atomic.Uint64
+	shmLinks          atomic.Uint64
+	shmBytesSent      atomic.Uint64
+	tcpBytesSent      atomic.Uint64
 }
 
 func (st *stats) snapshot() Stats {
@@ -198,6 +227,13 @@ func (st *stats) snapshot() Stats {
 		DupDiscards:       st.dupDiscards.Load(),
 		BackoffSleeps:     st.backoffSleeps.Load(),
 		BackoffNanos:      st.backoffNanos.Load(),
+		BorrowedSends:     st.borrowedSends.Load(),
+		CopiedSends:       st.copiedSends.Load(),
+		PayloadCopies:     st.payloadCopies.Load(),
+		ZeroCopyRecvs:     st.zeroCopyRecvs.Load(),
+		ShmLinks:          st.shmLinks.Load(),
+		ShmBytesSent:      st.shmBytesSent.Load(),
+		TCPBytesSent:      st.tcpBytesSent.Load(),
 	}
 }
 
@@ -267,6 +303,12 @@ type link struct {
 	connHi net.Conn
 	state  int
 	err    error
+	// readers tracks the pair's live read loops. A reconnect waits for the
+	// old epoch's readers to exit (their sockets are already closed) before
+	// installing the new connection: the receive cursor is advanced outside
+	// the stream lock — after the payload lands in user memory — so at most
+	// one reader per direction may ever be processing frames.
+	readers sync.WaitGroup
 }
 
 // acquire returns the current connection end for rank self, blocking while
@@ -286,10 +328,20 @@ func (lk *link) acquire(self int) (net.Conn, int, error) {
 	return lk.connHi, lk.epoch, nil
 }
 
-// outFrame is one queued outbound frame. done (data frames only) completes
-// on the first successful write — the caller's buffer is copied up front in
-// resilient mode, so completion means "reusable", while delivery is
-// guaranteed by retransmission or surfaced as a pair failure.
+// outFrame is one queued outbound frame. Completion (done, data frames
+// only) depends on who owns the payload memory:
+//
+//   - copied frames (small, non-pool-aligned buffers in resilient mode)
+//     complete on the first successful write — the pooled copy makes the
+//     caller's buffer reusable immediately, and delivery is guaranteed by
+//     retransmitting the copy;
+//   - borrowed frames (the zero-copy path: the caller's slice rides the
+//     writev batch directly) complete only when the cumulative ack retires
+//     them. Until then MPI's no-modify rule keeps the borrowed bytes
+//     stable, so a post-reconnect retransmission can resend them verbatim —
+//     no copy-on-rewind is ever needed;
+//   - in non-resilient mode every frame borrows and completes at write, as
+//     a plain transport would.
 type outFrame struct {
 	kind byte
 	tag  int
@@ -304,8 +356,16 @@ type outFrame struct {
 	// request whose Wait is drained much later must not misreport its send
 	// as having lasted until the drain. The channel send orders the write
 	// before any WaitTraced read.
-	doneAt    float64
-	buf       []byte
+	doneAt float64
+	// buf is the contiguous payload. Strided frames (non-contig datatype
+	// sends) leave buf nil and carry base+dt instead: buildIovecs emits one
+	// iovec per block, gathering the strided layout straight off the user's
+	// matrix with no pack buffer.
+	buf  []byte
+	base []byte
+	dt   mpi.Datatype
+	// size is the payload length on the wire (len(buf) or dt.Size()).
+	size      int
 	done      chan error
 	completed bool
 	consulted bool // fault injector consulted (first transmission)
@@ -313,6 +373,14 @@ type outFrame struct {
 	// returned there when the cumulative ack prunes the frame (never
 	// earlier — rewind may retransmit any still-unacked frame).
 	poolable bool
+	// borrowed marks the payload as caller-owned memory: completion is
+	// deferred to the cumulative ack (see the type comment).
+	borrowed bool
+	// written records at least one fully successful write. When the stream
+	// fails terminally, a written borrowed frame completes with nil — the
+	// copy path completed at exactly that point, and send completion never
+	// promised delivery — while an unwritten one fails typed.
+	written bool
 	// writing marks the frame as part of the writer's in-flight batch; the
 	// ack path must not release its buffer underneath the write. Guarded by
 	// the stream mutex.
@@ -330,14 +398,14 @@ type sendStream struct {
 	src, dst int
 	mu       sync.Mutex
 	cond     *sync.Cond
-	nextSeq uint64
+	nextSeq  uint64
 	// queue[qhead:] is the pending-frame FIFO. Popping advances qhead (the
 	// slot is nilled); when the queue drains both reset to zero, so the
 	// backing array is reused instead of reallocated by every append that
 	// follows a front-advance.
-	queue   []*outFrame
-	qhead   int
-	unacked []*outFrame
+	queue    []*outFrame
+	qhead    int
+	unacked  []*outFrame
 	resend   int // index into unacked to retransmit from
 	recvNext uint64
 	// ackUpTo/ackDirty coalesce outbound cumulative acks: the read loop
@@ -351,8 +419,15 @@ type sendStream struct {
 	// acquire: a reconnect happened, and the batch's frames must now be
 	// preceded by the retransmissions the rewind scheduled.
 	rewinds uint64
-	failed  error
-	closed  bool
+	// enq counts frames accepted into the queue; wrote counts frames that
+	// have completed at least one full socket write. comm.Flush waits for
+	// wrote to catch up with enq's value at call time: "everything I sent
+	// has been handed to the kernel", a much cheaper ordering point than
+	// delivery-acknowledged completion.
+	enq    uint64
+	wrote  uint64
+	failed error
+	closed bool
 }
 
 // hasWorkLocked reports whether the writer has anything to write. Caller
@@ -366,6 +441,9 @@ type matcher struct {
 	// pool, when non-nil, receives payload buffers back once their bytes
 	// have been copied into the user's receive buffer.
 	pool *bufPool
+	// stats, when non-nil, counts match-time payload copies (frames that
+	// arrived before their receive was posted and had to be staged).
+	stats *stats
 	// now reads the world clock (Comm.Now seconds). Used to stamp the
 	// delivery time of traced frames only, so the untraced path stays free
 	// of clock reads.
@@ -405,6 +483,10 @@ type matchKey struct {
 type recvOp struct {
 	pool *recvOpPool // nil: the op falls to the GC instead
 	buf  []byte
+	// dt, when non-zero and non-contiguous, describes the strided layout of
+	// buf that incoming payload bytes are scattered into. Contiguous typed
+	// receives are normalized to a plain buf at post time.
+	dt   mpi.Datatype
 	done chan error
 	// ctx/deliveredAt carry the matched frame's trace context and delivery
 	// time. Written by the matcher before the done send, read by WaitTraced
@@ -501,6 +583,7 @@ func (p *recvOpPool) get(buf []byte) *recvOp {
 
 func (p *recvOpPool) put(o *recvOp) {
 	o.buf = nil
+	o.dt = mpi.Datatype{}
 	o.ctx = 0
 	o.deliveredAt = 0
 	p.mu.Lock()
@@ -540,6 +623,7 @@ func NewWorld(n int, opts ...Option) ([]mpi.Comm, func() error, error) {
 	for r := 0; r < n; r++ {
 		w.matchers[r] = &matcher{
 			pool:    &w.pool,
+			stats:   &w.stats,
 			now:     func() float64 { return time.Since(w.start).Seconds() },
 			arrived: make(map[matchKey][]arrivedMsg),
 			posted:  make(map[matchKey][]*recvOp),
@@ -585,6 +669,7 @@ func NewWorld(n int, opts ...Option) ([]mpi.Comm, func() error, error) {
 				w.close()
 				return nil, nil, err
 			}
+			tuneConn(conn)
 			if err := writeHandshake(conn, hi, lo, hsInitial); err != nil {
 				conn.Close()
 				w.close()
@@ -619,6 +704,7 @@ func NewWorld(n int, opts ...Option) ([]mpi.Comm, func() error, error) {
 		for hi := lo + 1; hi < n; hi++ {
 			lk := w.links[lo][hi]
 			w.wg.Add(2)
+			lk.readers.Add(2)
 			go w.readLoop(lo, hi, lk.connLo, 0)
 			go w.readLoop(hi, lo, lk.connHi, 0)
 		}
@@ -650,6 +736,27 @@ func (w *World) linkFor(a, b int) *link {
 	return w.links[a][b]
 }
 
+// sockBufSize is the requested kernel socket buffer size per direction.
+// One full-window burst of large frames fits in the send buffer, so a
+// 64 KiB writev completes in one syscall instead of trickling out at the
+// default buffer's pace, and the receiver drains whole frames per wakeup.
+const sockBufSize = 1 << 20
+
+// tuneConn applies the data-plane socket options to a freshly established
+// connection: TCP_NODELAY so the 33-byte ack and sync frames the scheduled
+// algorithm's pairwise synchronization rides on are never Nagle-delayed
+// behind an unacked large frame, and enlarged kernel buffers (see
+// sockBufSize). Best effort: a conn type without the knobs (tests, exotic
+// stacks) is used as-is.
+func tuneConn(conn net.Conn) net.Conn {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+		tc.SetReadBuffer(sockBufSize)
+		tc.SetWriteBuffer(sockBufSize)
+	}
+	return conn
+}
+
 func writeHandshake(conn net.Conn, from, to int, flags uint32) error {
 	var hdr [handshakeLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(from))
@@ -678,6 +785,7 @@ func (w *World) acceptLoop() {
 			w.setupMu.Unlock()
 			return
 		}
+		tuneConn(conn)
 		w.wg.Add(1)
 		go w.handleHandshake(conn)
 	}
@@ -778,6 +886,10 @@ func (w *World) close() error {
 			c.Add("aapc_tcp_duplicate_discards_total", s.DupDiscards)
 			c.Add("aapc_tcp_backoff_sleeps_total", s.BackoffSleeps)
 			c.Add("aapc_tcp_backoff_nanoseconds_total", s.BackoffNanos)
+			c.Add("aapc_tcp_borrowed_sends_total", s.BorrowedSends)
+			c.Add("aapc_tcp_copied_sends_total", s.CopiedSends)
+			c.Add("aapc_tcp_payload_copies_total", s.PayloadCopies)
+			c.Add("aapc_tcp_zerocopy_recvs_total", s.ZeroCopyRecvs)
 		}
 	})
 	return w.closeErr
@@ -886,7 +998,12 @@ func (w *World) failStream(st *sendStream, err error) {
 	for _, fr := range st.unacked {
 		if fr.done != nil && !fr.completed {
 			fr.completed = true
-			fr.done <- err
+			if fr.borrowed && fr.written {
+				// Written before the failure: the copy path completed here.
+				fr.done <- nil
+			} else {
+				fr.done <- err
+			}
 		}
 	}
 	st.queue = nil
@@ -957,6 +1074,10 @@ func (w *World) reconnect(lk *link, cause error) {
 			lastErr = err
 			continue
 		}
+		// The old epoch's sockets are closed; wait for its readers to exit
+		// before the new epoch goes live, so the pair never has two readers
+		// racing one receive cursor.
+		lk.readers.Wait()
 		lk.mu.Lock()
 		if lk.state != linkReconnecting {
 			// Killed or closed while redialing.
@@ -980,6 +1101,7 @@ func (w *World) reconnect(lk *link, cause error) {
 		lk.mu.Unlock()
 		w.stats.reconnects.Add(1)
 		w.wg.Add(2)
+		lk.readers.Add(2)
 		go w.readLoop(lk.lo, lk.hi, connLo, epoch)
 		go w.readLoop(lk.hi, lk.lo, connHi, epoch)
 		return
@@ -1018,6 +1140,7 @@ func (w *World) redial(lk *link) (net.Conn, net.Conn, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	tuneConn(connHi)
 	if err := writeHandshake(connHi, lk.hi, lk.lo, hsReconnect); err != nil {
 		connHi.Close()
 		return nil, nil, err
@@ -1043,12 +1166,34 @@ func (st *sendStream) rewind() {
 	st.mu.Unlock()
 }
 
-// ack prunes unacknowledged frames below the cumulative ack, returning
-// their pooled send copies. A frame the writer is concurrently writing is
-// only marked (ackFreed); the writer releases it when the write completes —
-// releasing mid-write would hand the bytes to another message while writev
+// retireFrameLocked releases an acked frame's resources: pooled send copies
+// go back to the pool, and borrowed frames get their deferred completion —
+// the ack proves delivery, so the caller's buffer is finally free for
+// reuse. Caller holds the stream mutex; done is buffered, so the send
+// cannot block under it.
+//
+//aapc:noalloc
+func (w *World) retireFrameLocked(fr *outFrame) {
+	if fr.poolable && fr.buf != nil {
+		w.pool.put(fr.buf)
+		fr.buf = nil
+	}
+	if fr.borrowed && fr.done != nil && !fr.completed {
+		fr.completed = true
+		if fr.ctx != 0 {
+			fr.doneAt = time.Since(w.start).Seconds()
+		}
+		fr.done <- nil
+	}
+}
+
+// ackStream prunes unacknowledged frames below the cumulative ack,
+// retiring each (pool release or deferred borrowed completion). A frame
+// the writer is concurrently writing is only marked (ackFreed); the writer
+// retires it when the write completes — releasing mid-write would hand the
+// bytes to another message (or let the caller modify them) while writev
 // still references them.
-func (st *sendStream) ack(upTo uint64, pool *bufPool) {
+func (w *World) ackStream(st *sendStream, upTo uint64) {
 	st.mu.Lock()
 	k := 0
 	for k < len(st.unacked) && st.unacked[k].seq < upTo {
@@ -1058,9 +1203,8 @@ func (st *sendStream) ack(upTo uint64, pool *bufPool) {
 		for _, fr := range st.unacked[:k] {
 			if fr.writing {
 				fr.ackFreed = true
-			} else if fr.poolable && fr.buf != nil {
-				pool.put(fr.buf)
-				fr.buf = nil
+			} else {
+				w.retireFrameLocked(fr)
 			}
 		}
 		// Shift the survivors down instead of re-slicing forward: the
@@ -1120,7 +1264,9 @@ type writeBatch struct {
 // st.mu. Returns true when the queue head cannot be admitted because the
 // retransmit window is full and nothing else is writable — the overflow
 // condition that terminally fails the stream.
+//
 //aapc:noalloc
+//aapc:nocopy frames move by pointer; payload bytes are never touched
 func (b *writeBatch) collect(st *sendStream, resilient bool, limit, maxData int) (overflow bool) {
 	b.frames = b.frames[:0]
 	b.nRetrans = 0
@@ -1166,8 +1312,15 @@ func (b *writeBatch) collect(st *sendStream, resilient bool, limit, maxData int)
 }
 
 // buildIovecs lays the batch out for one vectored write: header, payload,
-// header, payload, ..., with the coalesced ack last.
+// header, payload, ..., with the coalesced ack last. A strided frame
+// (base+dt) contributes one iovec per block — the writev gathers the
+// caller's matrix layout directly, so the wire sees a contiguous payload
+// that never existed in a pack buffer. Go's runtime caps each writev at
+// IOV_MAX iovecs and loops, so block counts beyond it cost extra syscalls,
+// never correctness.
+//
 //aapc:noalloc
+//aapc:nocopy payload rides the iovec list by reference into writev
 func (b *writeBatch) buildIovecs() {
 	n := len(b.frames)
 	if b.dup {
@@ -1188,10 +1341,15 @@ func (b *writeBatch) buildIovecs() {
 		hdr[0] = fr.kind
 		binary.LittleEndian.PutUint64(hdr[1:9], uint64(int64(fr.tag)))
 		binary.LittleEndian.PutUint64(hdr[9:17], fr.seq)
-		binary.LittleEndian.PutUint64(hdr[17:25], uint64(int64(len(fr.buf))))
+		binary.LittleEndian.PutUint64(hdr[17:25], uint64(int64(fr.size)))
 		binary.LittleEndian.PutUint64(hdr[25:33], fr.ctx)
 		b.iovecs = append(b.iovecs, hdr)
-		if len(fr.buf) > 0 {
+		switch {
+		case fr.base != nil:
+			for i := 0; i < fr.dt.Count(); i++ {
+				b.iovecs = append(b.iovecs, fr.dt.Block(fr.base, i))
+			}
+		case len(fr.buf) > 0:
 			b.iovecs = append(b.iovecs, fr.buf)
 		}
 	}
@@ -1207,28 +1365,44 @@ func (b *writeBatch) buildIovecs() {
 	}
 }
 
-// release clears the in-flight marks of the batch, releasing send copies
-// whose ack arrived mid-write, and (when complete is true) delivers every
-// data frame's completion with err. reack re-arms the coalesced ack after a
-// failed write so it is retried on the next (post-reconnect) cycle.
+// release clears the in-flight marks of the batch, retiring frames whose
+// ack arrived mid-write, and (when complete is true) delivers data-frame
+// completions with err. Borrowed frames skip the successful-write
+// completion — their caller's buffer stays pinned until the cumulative ack
+// retires them — but do complete on terminal errors, where no
+// retransmission will ever need the bytes again. reack re-arms the
+// coalesced ack after a failed write so it is retried on the next
+// (post-reconnect) cycle.
+//
 //aapc:noalloc
+//aapc:nocopy
 func (w *World) releaseBatch(st *sendStream, b *writeBatch, err error, complete, reack bool) {
+	advanced := false
 	st.mu.Lock()
 	for _, fr := range b.frames {
 		fr.writing = false
 		if fr.ackFreed {
 			fr.ackFreed = false
-			if fr.poolable && fr.buf != nil {
-				w.pool.put(fr.buf)
-				fr.buf = nil
-			}
+			w.retireFrameLocked(fr)
 		}
-		if complete && fr.done != nil && !fr.completed {
+		if complete && err == nil && !fr.written {
+			fr.written = true
+			st.wrote++
+			advanced = true
+		}
+		if complete && fr.done != nil && !fr.completed && (err != nil || !fr.borrowed) {
 			fr.completed = true
+			e := err
+			if fr.borrowed && fr.written {
+				// The frame hit the wire before the terminal failure: the
+				// copy path would have completed it then, so report the same
+				// success; delivery truth surfaces on receiver-side ops.
+				e = nil
+			}
 			if fr.ctx != 0 {
 				fr.doneAt = time.Since(w.start).Seconds()
 			}
-			fr.done <- err
+			fr.done <- e
 		}
 	}
 	if reack && b.haveAck && st.failed == nil && !st.closed {
@@ -1236,6 +1410,11 @@ func (w *World) releaseBatch(st *sendStream, b *writeBatch, err error, complete,
 			st.ackUpTo = b.ackSeq
 		}
 		st.ackDirty = true
+	}
+	if advanced {
+		// Wake Flush waiters; the writer re-checks hasWorkLocked and goes
+		// back to sleep if the broadcast was only for them.
+		st.cond.Broadcast()
 	}
 	st.mu.Unlock()
 }
@@ -1351,11 +1530,11 @@ func (w *World) writer(st *sendStream) {
 		frames := uint64(len(b.frames))
 		var bytes uint64
 		for _, fr := range b.frames {
-			bytes += uint64(len(fr.buf))
+			bytes += uint64(fr.size)
 		}
 		if b.dup && len(b.frames) > 0 {
 			frames++
-			bytes += uint64(len(b.frames[0].buf))
+			bytes += uint64(b.frames[0].size)
 		}
 		w.stats.framesSent.Add(frames)
 		w.stats.bytesSent.Add(bytes)
@@ -1374,6 +1553,7 @@ func (w *World) writer(st *sendStream) {
 func (w *World) readLoop(r, p int, conn net.Conn, epoch int) {
 	defer w.wg.Done()
 	lk := w.linkFor(r, p)
+	defer lk.readers.Done()
 	st := w.streams[r][p]
 	m := w.matchers[r]
 	// hdr escapes through the net.Conn interface; declaring it outside the
@@ -1395,8 +1575,62 @@ func (w *World) readLoop(r, p int, conn net.Conn, epoch int) {
 		}
 		switch kind {
 		case frameAck:
-			st.ack(seq, &w.pool)
+			w.ackStream(st, seq)
 		case frameData:
+			// Peek: resolve the sequence cursor BEFORE touching the payload
+			// bytes, so an in-order frame can be read straight into the
+			// posted receive buffer. The cursor only advances after the full
+			// payload has been read — a link break mid-read leaves recvNext
+			// untouched and the retransmission re-delivers the same frame.
+			if w.cfg.Resilient {
+				st.mu.Lock()
+				cur := st.recvNext
+				st.mu.Unlock()
+				switch {
+				case seq < cur:
+					// Idempotent re-delivery: already matched, drain the
+					// bytes but re-ack so the sender prunes its window.
+					if err := drainPayload(conn, size, &w.pool); err != nil {
+						w.linkBroken(lk, epoch, fmt.Errorf("tcp: rank %d draining duplicate from %d: %w", r, p, err))
+						return
+					}
+					w.stats.dupDiscards.Add(1)
+					st.noteAck(cur)
+					continue
+				case seq > cur:
+					w.hardFail(lk, epoch, fmt.Errorf(
+						"tcp: rank %d: sequence gap from %d: got %d want %d", r, p, seq, cur))
+					return
+				}
+			}
+			key := matchKey{src: p, tag: tag}
+			if op := m.claim(key); op != nil {
+				// Zero-copy placement: the receive is already posted, so the
+				// payload is read off the socket directly into its buffer.
+				sockErr, opErr := w.readIntoOp(conn, op, size)
+				if sockErr != nil {
+					// The op was not completed and no bytes were delivered;
+					// put it back at the head of its queue so the
+					// retransmission (or the pair failure) finds it.
+					m.unclaim(key, op)
+					w.linkBroken(lk, epoch, fmt.Errorf("tcp: rank %d reading payload from %d: %w", r, p, sockErr))
+					return
+				}
+				if w.cfg.Resilient {
+					st.mu.Lock()
+					st.recvNext++
+					next := st.recvNext
+					st.mu.Unlock()
+					m.complete(op, ctx, opErr)
+					st.noteAck(next)
+				} else {
+					m.complete(op, ctx, opErr)
+				}
+				continue
+			}
+			// No receive posted yet: stage the payload in a pooled buffer;
+			// the match-time copy into the late-posted receive is the single
+			// copy of this path.
 			payload := w.pool.get(size)
 			if _, err := io.ReadFull(conn, payload); err != nil {
 				w.pool.put(payload)
@@ -1405,30 +1639,13 @@ func (w *World) readLoop(r, p int, conn net.Conn, epoch int) {
 			}
 			if w.cfg.Resilient {
 				st.mu.Lock()
-				switch {
-				case seq < st.recvNext:
-					// Idempotent re-delivery: already matched, discard but
-					// re-ack so the sender prunes its window.
-					next := st.recvNext
-					st.mu.Unlock()
-					w.pool.put(payload)
-					w.stats.dupDiscards.Add(1)
-					st.noteAck(next)
-					continue
-				case seq > st.recvNext:
-					st.mu.Unlock()
-					w.pool.put(payload)
-					w.hardFail(lk, epoch, fmt.Errorf(
-						"tcp: rank %d: sequence gap from %d: got %d want %d", r, p, seq, st.recvNext))
-					return
-				}
 				st.recvNext++
 				next := st.recvNext
 				st.mu.Unlock()
-				m.deliver(matchKey{src: p, tag: tag}, payload, ctx)
+				m.deliver(key, payload, ctx)
 				st.noteAck(next)
 			} else {
-				m.deliver(matchKey{src: p, tag: tag}, payload, ctx)
+				m.deliver(key, payload, ctx)
 			}
 		default:
 			w.hardFail(lk, epoch, fmt.Errorf("tcp: rank %d: unknown frame kind %d from %d", r, p, kind))
@@ -1504,7 +1721,7 @@ func (m *matcher) deliver(key matchKey, payload []byte, ctx uint64) {
 			op.deliveredAt = at
 		}
 		m.mu.Unlock()
-		err := copyPayload(op.buf, payload)
+		err := op.place(payload, m.stats)
 		if m.pool != nil {
 			m.pool.put(payload)
 		}
@@ -1529,7 +1746,7 @@ func (m *matcher) post(key matchKey, op *recvOp) {
 			op.deliveredAt = msg.at
 		}
 		m.mu.Unlock()
-		err := copyPayload(op.buf, msg.payload)
+		err := op.place(msg.payload, m.stats)
 		if m.pool != nil {
 			m.pool.put(msg.payload)
 		}
@@ -1543,6 +1760,127 @@ func (m *matcher) post(key matchKey, op *recvOp) {
 	}
 	m.posted[key] = append(m.posted[key], op)
 	m.mu.Unlock()
+}
+
+// claim pops the oldest posted receive for key, transferring ownership to
+// the caller (the read loop, which will fill its buffer straight off the
+// socket). Returns nil when no receive is posted — the caller falls back to
+// staging the payload. For one key, frames only ever arrive from a single
+// read loop, so the pop order is the match order.
+func (m *matcher) claim(key matchKey) *recvOp {
+	m.mu.Lock()
+	q := m.posted[key]
+	if len(q) == 0 {
+		m.mu.Unlock()
+		return nil
+	}
+	op := q[0]
+	copy(q, q[1:])
+	q[len(q)-1] = nil
+	m.posted[key] = q[:len(q)-1]
+	m.mu.Unlock()
+	return op
+}
+
+// unclaim returns a claimed-but-unfilled op to the head of its queue after
+// a socket error interrupted its payload read: the receive cursor did not
+// advance, so the retransmission (on the next connection epoch) must find
+// the same op first. If the source failed terminally while the op was
+// claimed, it is completed with that error instead — matcher.fail could not
+// see it.
+func (m *matcher) unclaim(key matchKey, op *recvOp) {
+	m.mu.Lock()
+	if err := m.srcErr[key.src]; err != nil {
+		m.mu.Unlock()
+		op.done <- err
+		return
+	}
+	q := append(m.posted[key], nil)
+	copy(q[1:], q)
+	q[0] = op
+	m.posted[key] = q
+	m.mu.Unlock()
+}
+
+// complete finishes a claimed op whose buffer the read loop has filled:
+// stamp the trace context/delivery time, then deliver the completion.
+func (m *matcher) complete(op *recvOp, ctx uint64, err error) {
+	if ctx != 0 {
+		op.ctx = ctx
+		if m.now != nil {
+			op.deliveredAt = m.now()
+		}
+	}
+	op.done <- err
+}
+
+// readIntoOp reads a size-byte payload off the socket straight into a
+// claimed receive op. The two return values separate the failure domains:
+// sockErr is a connection error (the op was not completed, the caller must
+// unclaim it and break the link); opErr is a per-operation delivery error
+// (truncation) with the stream itself still healthy.
+//
+//aapc:nocopy contiguous receives land straight off the socket; staging is
+// confined to the strided-scatter and truncation fallbacks
+func (w *World) readIntoOp(conn net.Conn, op *recvOp, size int) (sockErr, opErr error) {
+	if !op.dt.IsZero() && !op.dt.Contig() {
+		// Strided destination: stage contiguously, scatter into the blocks —
+		// the single copy of the typed receive path.
+		payload := w.pool.get(size)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			w.pool.put(payload)
+			return err, nil
+		}
+		opErr = op.place(payload, &w.stats)
+		w.pool.put(payload)
+		return nil, opErr
+	}
+	if size <= len(op.buf) {
+		if _, err := io.ReadFull(conn, op.buf[:size]); err != nil {
+			return err, nil
+		}
+		if size > 0 {
+			w.stats.zeroCopyRecvs.Add(1)
+		}
+		return nil, nil
+	}
+	// Truncation: fill what fits, drain the excess to keep the stream
+	// parseable, report the same error the copy path would.
+	if _, err := io.ReadFull(conn, op.buf); err != nil {
+		return err, nil
+	}
+	if err := drainPayload(conn, size-len(op.buf), &w.pool); err != nil {
+		return err, nil
+	}
+	return nil, fmt.Errorf("tcp: message truncated: receiver buffer %d < %d", len(op.buf), size)
+}
+
+// drainPayload discards size payload bytes from the socket (duplicate
+// frames, truncated excess) through a scratch pool buffer.
+func drainPayload(conn net.Conn, size int, pool *bufPool) error {
+	if size <= 0 {
+		return nil
+	}
+	b := pool.get(size)
+	_, err := io.ReadFull(conn, b)
+	pool.put(b)
+	return err
+}
+
+// place copies a staged payload into the op's buffer, honoring a strided
+// layout when the op carries one. This is the match-time copy counted
+// against the ≤1-copy budget.
+func (o *recvOp) place(payload []byte, st *stats) error {
+	if st != nil && len(payload) > 0 {
+		st.payloadCopies.Add(1)
+	}
+	if !o.dt.IsZero() && !o.dt.Contig() {
+		if o.dt.Unpack(o.buf, payload) < len(payload) {
+			return fmt.Errorf("tcp: message truncated: receiver layout %d < %d", o.dt.Size(), len(payload))
+		}
+		return nil
+	}
+	return copyPayload(o.buf, payload)
 }
 
 func copyPayload(dst, src []byte) error {
@@ -1639,6 +1977,9 @@ func (r errRequest) WaitTimeout(time.Duration) error { return r.err }
 // Frames for one destination are written by a single writer in enqueue
 // order, so MPI's non-overtaking guarantee holds per (source, destination,
 // tag).
+//
+//aapc:nocopy the borrowed path is the steady state; staging copies are
+// confined to the annotated small-message and self-send fallbacks
 func (c *comm) isend(buf []byte, dst, tag int, ctx uint64) mpi.Request {
 	if err := mpi.CheckRank(c, dst); err != nil {
 		return errRequest{err}
@@ -1653,6 +1994,9 @@ func (c *comm) isend(buf []byte, dst, tag int, ctx uint64) mpi.Request {
 		// Self-send: loop through the matcher directly, via a pooled copy.
 		payload := c.w.pool.get(len(buf))
 		copy(payload, buf)
+		if len(buf) > 0 {
+			c.w.stats.payloadCopies.Add(1)
+		}
 		c.w.matchers[c.rank].deliver(matchKey{src: c.rank, tag: tag}, payload, ctx)
 		return errRequest{nil}
 	}
@@ -1664,21 +2008,44 @@ func (c *comm) isend(buf []byte, dst, tag int, ctx uint64) mpi.Request {
 		return errRequest{err}
 	}
 	data := buf
-	poolable := false
+	poolable, borrowed := false, false
 	if c.w.cfg.Resilient && len(buf) > 0 {
-		// Copy: the frame may be retransmitted after the caller's request
-		// completed and the caller reused its buffer. The copy comes from
-		// the payload pool and goes back when the cumulative ack retires it.
-		data = c.w.pool.get(len(buf))
-		copy(data, buf)
-		poolable = true
+		if len(buf) >= zeroCopyMin || poolAligned(buf) {
+			// Borrow: the caller's bytes ride the writev batch directly and
+			// the request completes only when the cumulative ack retires the
+			// frame — until then MPI's no-modify rule keeps them stable, so
+			// retransmissions can reuse them verbatim. Zero copies.
+			borrowed = true
+			c.w.stats.borrowedSends.Add(1)
+		} else {
+			// Copy: for small, non-pool-aligned buffers the ack-deferred
+			// completion costs more than the copy. The pooled copy makes the
+			// frame retransmittable forever and completes at first write.
+			data = c.w.pool.get(len(buf))
+			//aapc:allow copycount deliberate: below zeroCopyMin the copy beats ack-deferred completion
+			copy(data, buf)
+			poolable = true
+			c.w.stats.copiedSends.Add(1)
+			c.w.stats.payloadCopies.Add(1)
+		}
+	} else if len(buf) > 0 {
+		// Non-resilient mode always borrows (nothing ever retransmits).
+		c.w.stats.borrowedSends.Add(1)
 	}
-	fr := &outFrame{kind: frameData, tag: tag, ctx: ctx, buf: data, done: make(chan error, 1), poolable: poolable}
+	fr := &outFrame{kind: frameData, tag: tag, ctx: ctx, buf: data, size: len(data),
+		done: make(chan error, 1), poolable: poolable, borrowed: borrowed}
 	st.queue = append(st.queue, fr)
+	st.enq++
 	st.cond.Signal()
 	st.mu.Unlock()
 	return chanRequest{done: fr.done, fr: fr}
 }
+
+// zeroCopyMin is the smallest payload that borrows the caller's buffer
+// unconditionally on the resilient path. Below it a pooled copy is cheaper
+// than deferring completion to the ack — unless the slice is already
+// pool-aligned, in which case borrowing costs nothing extra.
+const zeroCopyMin = 1024
 
 func (c *comm) Isend(buf []byte, dst, tag int) mpi.Request {
 	if tag < 0 {
@@ -1695,6 +2062,135 @@ func (c *comm) IsendTraced(buf []byte, dst, tag int, ctx uint64) mpi.Request {
 		return errRequest{fmt.Errorf("tcp: negative tag %d is reserved", tag)}
 	}
 	return c.isend(buf, dst, tag, ctx)
+}
+
+// IsendTyped starts a zero-copy send of the dt-described bytes of base
+// (mpi.TypedComm). Contiguous layouts are normalized to the plain path; a
+// strided layout rides the writev batch as one iovec per block, so the
+// bytes go from the caller's matrix to the kernel with no intermediate
+// buffer at all.
+//
+//aapc:nocopy
+func (c *comm) IsendTyped(base []byte, dt mpi.Datatype, dst, tag int) mpi.Request {
+	if tag < 0 {
+		return errRequest{fmt.Errorf("tcp: negative tag %d is reserved", tag)}
+	}
+	if err := dt.Validate(len(base)); err != nil {
+		return errRequest{err}
+	}
+	if dt.Contig() {
+		return c.isend(base[:dt.Size()], dst, tag, 0)
+	}
+	if err := mpi.CheckRank(c, dst); err != nil {
+		return errRequest{err}
+	}
+	if err := c.w.rankDead(c.rank); err != nil {
+		return errRequest{&mpi.RankError{Rank: c.rank, Err: err}}
+	}
+	if err := c.w.rankDead(dst); err != nil {
+		return errRequest{&mpi.RankError{Rank: dst, Err: err}}
+	}
+	size := dt.Size()
+	if dst == c.rank {
+		// Self-send: pack the strided layout into a pooled loopback copy.
+		payload := c.w.pool.get(size)
+		dt.Pack(payload, base)
+		if size > 0 {
+			c.w.stats.payloadCopies.Add(1)
+		}
+		c.w.matchers[c.rank].deliver(matchKey{src: c.rank, tag: tag}, payload, 0)
+		return errRequest{nil}
+	}
+	st := c.w.streams[c.rank][dst]
+	st.mu.Lock()
+	if st.failed != nil {
+		err := st.failed
+		st.mu.Unlock()
+		return errRequest{err}
+	}
+	// Strided frames always borrow: packing up front would be exactly the
+	// copy this path exists to remove. In resilient mode completion defers
+	// to the cumulative ack like any borrowed frame.
+	c.w.stats.borrowedSends.Add(1)
+	fr := &outFrame{kind: frameData, tag: tag, base: base, dt: dt, size: size,
+		done: make(chan error, 1), borrowed: c.w.cfg.Resilient}
+	st.queue = append(st.queue, fr)
+	st.enq++
+	st.cond.Signal()
+	st.mu.Unlock()
+	return chanRequest{done: fr.done, fr: fr}
+}
+
+// IrecvTyped posts a receive that scatters incoming payload bytes into the
+// dt-described blocks of base (mpi.TypedComm). Contiguous layouts place
+// bytes straight off the socket; strided ones stage once and scatter.
+func (c *comm) IrecvTyped(base []byte, dt mpi.Datatype, src, tag int) mpi.Request {
+	if tag < 0 {
+		return errRequest{fmt.Errorf("tcp: negative tag %d is reserved", tag)}
+	}
+	if err := dt.Validate(len(base)); err != nil {
+		return errRequest{err}
+	}
+	if dt.Contig() {
+		return c.irecv(base[:dt.Size()], src, tag)
+	}
+	if err := mpi.CheckRank(c, src); err != nil {
+		return errRequest{err}
+	}
+	if err := c.w.rankDead(c.rank); err != nil {
+		return errRequest{&mpi.RankError{Rank: c.rank, Err: err}}
+	}
+	op := c.w.recvOps.get(base)
+	op.dt = dt
+	c.w.matchers[c.rank].post(matchKey{src: src, tag: tag}, op)
+	return op
+}
+
+// Flush blocks until every frame this rank has so far accepted toward dst
+// has completed at least one full socket write — the bytes are in the
+// kernel, ordered ahead of anything the rank writes afterwards
+// (mpi.Flusher). It does NOT wait for delivery: borrowed-frame completion
+// still defers to the cumulative ack. The scheduled algorithm orders its
+// synchronization emits on this watermark, paying a local writer handoff
+// instead of a delivery round trip per phase boundary.
+//
+// d > 0 bounds the wait with a typed *mpi.TimeoutError; d <= 0 waits until
+// the watermark is reached or the stream fails.
+func (c *comm) Flush(dst int, d time.Duration) error {
+	if err := mpi.CheckRank(c, dst); err != nil {
+		return err
+	}
+	if dst == c.rank {
+		return nil // self-sends bypass the stream and deliver at once
+	}
+	st := c.w.streams[c.rank][dst]
+	var timer *time.Timer
+	expired := false
+	st.mu.Lock()
+	target := st.enq
+	for st.failed == nil && st.wrote < target && !expired {
+		if d > 0 && timer == nil {
+			// Armed lazily: the common case — the writer already drained
+			// the queue — never allocates the timer.
+			timer = time.AfterFunc(d, func() {
+				st.mu.Lock()
+				expired = true
+				st.cond.Broadcast()
+				st.mu.Unlock()
+			})
+			defer timer.Stop()
+		}
+		st.cond.Wait()
+	}
+	wrote, failed := st.wrote, st.failed
+	st.mu.Unlock()
+	if wrote >= target {
+		return nil
+	}
+	if failed != nil {
+		return failed
+	}
+	return &mpi.TimeoutError{Op: "flush", After: d}
 }
 
 func (c *comm) irecv(buf []byte, src, tag int) mpi.Request {

@@ -1,0 +1,117 @@
+package tcp
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/aapc-sched/aapcsched/internal/mpi"
+)
+
+// TestTCPZeroCopySteadyState is the copy-count analogue of the allocation
+// gates: in the steady state — receives pre-posted, payloads at or above
+// zeroCopyMin — the data plane must move every payload with zero userspace
+// copies. Send side: every frame borrows the caller's buffer into the
+// writev batch (BorrowedSends, no CopiedSends). Receive side: every payload
+// lands straight off the socket into the posted buffer (ZeroCopyRecvs, no
+// PayloadCopies). The assertions are exact equalities on the stats deltas,
+// so a single regression anywhere on the path fails the gate.
+func TestTCPZeroCopySteadyState(t *testing.T) {
+	const (
+		n     = 4
+		iters = 10
+		msize = 65536
+	)
+	comms, closeWorld, err := NewWorld(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := closeWorld(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	// Pre-post every receive of every iteration (distinct tags), then
+	// barrier: from here on no frame can arrive before its receive, and no
+	// control traffic interleaves with the measured window.
+	recvs := make([][]mpi.Request, n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(c mpi.Comm) {
+			defer wg.Done()
+			me := c.Rank()
+			for it := 0; it < iters; it++ {
+				for src := 0; src < n; src++ {
+					if src == me {
+						continue
+					}
+					recvs[me] = append(recvs[me], c.Irecv(make([]byte, msize), src, it))
+				}
+			}
+			errs <- c.Barrier()
+		}(comms[r])
+	}
+	wg.Wait()
+	for r := 0; r < n; r++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := comms[0].(*comm).TransportStats()
+
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(c mpi.Comm) {
+			defer wg.Done()
+			me := c.Rank()
+			sendBufs := make([][]byte, n)
+			for dst := 0; dst < n; dst++ {
+				sendBufs[dst] = make([]byte, msize)
+			}
+			for it := 0; it < iters; it++ {
+				var reqs []mpi.Request
+				for dst := 0; dst < n; dst++ {
+					if dst == me {
+						continue
+					}
+					reqs = append(reqs, c.Isend(sendBufs[dst], dst, it))
+				}
+				// Wait drains the iteration; borrowed frames complete on
+				// their cumulative ack, so the buffers are free for reuse.
+				if err := mpi.WaitAll(reqs); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(comms[r])
+	}
+	wg.Wait()
+	for r := 0; r < n; r++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < n; r++ {
+		if err := mpi.WaitAll(recvs[r]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := comms[0].(*comm).TransportStats()
+	const frames = uint64(iters * n * (n - 1))
+	if got := s.BorrowedSends - base.BorrowedSends; got != frames {
+		t.Errorf("borrowed sends = %d, want %d (every data frame borrows)", got, frames)
+	}
+	if got := s.CopiedSends - base.CopiedSends; got != 0 {
+		t.Errorf("copied sends = %d, want 0 in the steady state", got)
+	}
+	if got := s.PayloadCopies - base.PayloadCopies; got != 0 {
+		t.Errorf("payload copies = %d, want 0 with receives pre-posted", got)
+	}
+	if got := s.ZeroCopyRecvs - base.ZeroCopyRecvs; got != frames {
+		t.Errorf("zero-copy receives = %d, want %d", got, frames)
+	}
+}

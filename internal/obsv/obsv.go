@@ -338,7 +338,60 @@ func Instrument(c mpi.Comm, r *Recorder) mpi.Comm {
 	}
 	ic := &icomm{inner: c, rec: r, phase: -1, nextPhase: -1}
 	ic.ts, _ = c.(mpi.TracedSender)
-	return ic
+	// The wrapper must present exactly the inner transport's optional
+	// capabilities: surfacing a method the transport lacks would make
+	// callers take paths the transport cannot honor (a no-op Flush skips a
+	// wait that is load-bearing on the simulator), and hiding one would
+	// silently demote the zero-copy typed path to the pack fallback under
+	// instrumentation.
+	tc, typed := c.(mpi.TypedComm)
+	fl, flush := c.(mpi.Flusher)
+	switch {
+	case typed && flush:
+		return &icommZC{icommTyped{icomm: ic, tc: tc}, fl}
+	case typed:
+		return &icommTyped{icomm: ic, tc: tc}
+	default:
+		return ic
+	}
+}
+
+// icommTyped extends the decorator over transports with native datatype
+// support (mpi.TypedComm), forwarding typed operations so instrumented
+// comms keep the zero-copy path. Typed sends go untraced (no causal
+// context in the frame); the cross-rank trace graph covers contiguous
+// sends, which remain the common case for control traffic.
+type icommTyped struct {
+	*icomm
+	tc mpi.TypedComm
+}
+
+//aapc:noalloc
+func (c *icommTyped) IsendTyped(base []byte, dt mpi.Datatype, dst, tag int) mpi.Request {
+	c.seq++
+	ev := Event{Kind: KindSend, Rank: c.inner.Rank(), Peer: dst, Tag: tag,
+		Bytes: dt.Size(), Phase: c.opPhase(), Seq: c.seq, Start: c.inner.Now()}
+	return c.newReq(c.tc.IsendTyped(base, dt, dst, tag), ev)
+}
+
+//aapc:noalloc
+func (c *icommTyped) IrecvTyped(base []byte, dt mpi.Datatype, src, tag int) mpi.Request {
+	c.seq++
+	ev := Event{Kind: KindRecv, Rank: c.inner.Rank(), Peer: src, Tag: tag,
+		Bytes: dt.Size(), Phase: c.opPhase(), Seq: c.seq, Start: c.inner.Now()}
+	return c.newReq(c.tc.IrecvTyped(base, dt, src, tag), ev)
+}
+
+// icommZC additionally forwards the wire-entry watermark wait
+// (mpi.Flusher). The wait itself is not recorded as an event: the send and
+// sync events around it already bound any stall.
+type icommZC struct {
+	icommTyped
+	fl mpi.Flusher
+}
+
+func (c *icommZC) Flush(dst int, d time.Duration) error {
+	return c.fl.Flush(dst, d)
 }
 
 // icomm is the instrumenting decorator.
