@@ -5,9 +5,16 @@
 //	go vet -vettool=$PWD/bin/aapcvet ./...
 //
 // It enforces the project invariants (poolsafe, determinism, waitcheck,
-// noalloc) plus ports of the stock shadow, copylocks, and loopclosure
-// passes. Individual analyzers are disabled with -<name>=false; single
-// findings are suppressed in source with //aapc:allow <name> <reason>.
+// noalloc, copycount, lockorder, spscsafe) plus ports of the stock
+// shadow, copylocks, and loopclosure passes. Function summaries flow
+// across package boundaries through vet's facts channel, so poolsafe,
+// waitcheck, copycount, and lockorder see through call sites.
+//
+// Individual analyzers are disabled with -<name>=false; single findings
+// are suppressed in source with //aapc:allow <name> <reason>. Extra
+// modes: -json streams one NDJSON object per diagnostic, and
+// -unusedallow flags allow comments whose analyzer no longer reports
+// anything at that site.
 package main
 
 import "github.com/aapc-sched/aapcsched/internal/analysis"

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -25,8 +26,10 @@ func init() {
 	}
 }
 
-// allowIndex maps file name -> line -> set of allowed analyzer names.
-type allowIndex map[string]map[int]map[string]bool
+// allowIndex maps file name -> line -> allowed analyzer name -> entry.
+// Entries are shared, so marking one used through any line lookup marks
+// the comment's claim used.
+type allowIndex map[string]map[int]map[string]*AllowEntry
 
 // buildAllowIndex scans every comment in the files for suppression markers.
 func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
@@ -47,16 +50,18 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 				pos := fset.Position(c.Pos())
 				lines := idx[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
+					lines = make(map[int]map[string]*AllowEntry)
 					idx[pos.Filename] = lines
 				}
 				set := lines[pos.Line]
 				if set == nil {
-					set = make(map[string]bool)
+					set = make(map[string]*AllowEntry)
 					lines[pos.Line] = set
 				}
 				for _, n := range names {
-					set[n] = true
+					if set[n] == nil {
+						set[n] = &AllowEntry{File: pos.Filename, Line: pos.Line, Analyzer: n}
+					}
 				}
 			}
 		}
@@ -79,16 +84,47 @@ func parseAllowNames(rest string) []string {
 
 // allows reports whether a diagnostic of the named analyzer at pos is
 // suppressed: an allow comment for it sits on the same line or the line
-// above.
+// above. A hit marks the entry used for the -unusedallow audit.
 func (idx allowIndex) allows(pos token.Position, analyzer string) bool {
 	lines := idx[pos.Filename]
 	if lines == nil {
 		return false
 	}
 	for _, l := range [2]int{pos.Line, pos.Line - 1} {
-		if set := lines[l]; set != nil && set[analyzer] {
+		if set := lines[l]; set != nil && set[analyzer] != nil {
+			set[analyzer].used = true
 			return true
 		}
 	}
 	return false
+}
+
+// unused returns the entries that suppressed nothing, restricted to
+// analyzers that actually ran (a comment for a pass disabled on the
+// command line is not evidence of rot), sorted by (file, line, analyzer).
+func (idx allowIndex) unused(ran []*Analyzer) []AllowEntry {
+	ranNames := make(map[string]bool, len(ran))
+	for _, a := range ran {
+		ranNames[a.Name] = true
+	}
+	var out []AllowEntry
+	for _, lines := range idx {
+		for _, set := range lines {
+			for _, e := range set {
+				if !e.used && ranNames[e.Analyzer] {
+					out = append(out, *e)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
 }

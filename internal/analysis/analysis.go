@@ -43,6 +43,9 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string
+	// Suppressed marks findings silenced by an //aapc:allow comment; they
+	// are dropped from human output but survive into -json.
+	Suppressed bool
 }
 
 // Analyzer is one named pass over a type-checked package.
@@ -58,6 +61,9 @@ type Analyzer struct {
 	// AppliesTo, when non-nil, restricts the pass to packages for which it
 	// returns true (matched against the package's import path).
 	AppliesTo func(pkgPath string) bool
+	// NeedsFacts marks analyzers that consult interprocedural summaries;
+	// the runner computes (or imports) facts only when one is enabled.
+	NeedsFacts bool
 	// Run reports findings through pass.Reportf.
 	Run func(pass *Pass) error
 }
@@ -76,6 +82,10 @@ type Pass struct {
 	// GoVersion is the module's language version ("go1.22"); version-gated
 	// analyzers (loopclosure) consult it.
 	GoVersion string
+	// Facts is the interprocedural fact universe: summaries for every
+	// function of this package plus everything imported from dependencies.
+	// Nil when no enabled analyzer declared NeedsFacts.
+	Facts *FactSet
 
 	diags *[]Diagnostic
 }
@@ -123,12 +133,71 @@ func isTestFile(fset *token.FileSet, f *ast.File) bool {
 	return strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go")
 }
 
+// AllowEntry is one analyzer name claimed by an //aapc:allow comment,
+// together with whether it suppressed anything during the run.
+type AllowEntry struct {
+	File     string
+	Line     int
+	Analyzer string
+	used     bool
+}
+
+// Result is the full outcome of a run: every diagnostic (suppressed ones
+// flagged, all sorted by file/line/column/analyzer) plus the allow entries
+// that suppressed nothing — the raw material of the -unusedallow audit.
+type Result struct {
+	Diags        []Diagnostic
+	UnusedAllows []AllowEntry
+	// Facts holds the summaries computed for this package (imported ones
+	// included), for export through the vetx channel. Nil when facts were
+	// not needed.
+	Facts *FactSet
+}
+
+// RunConfig tunes a run.
+type RunConfig struct {
+	// Imported seeds the fact engine with dependency summaries.
+	Imported *FactSet
+	// NoFacts disables the fact engine even for NeedsFacts analyzers,
+	// reducing them to their legacy function-local behavior (used by the
+	// test suite to prove what the block-scoped passes miss).
+	NoFacts bool
+}
+
 // Run executes the analyzers over the package and returns the surviving
-// diagnostics: suppressed findings (see allow.go) are dropped, and the rest
-// are sorted by position.
+// diagnostics, suppressed findings dropped. Facts are computed
+// automatically when an enabled analyzer needs them.
 func Run(pkg *PackageInfo, analyzers []*Analyzer) ([]Diagnostic, error) {
-	allow := buildAllowIndex(pkg.Fset, pkg.Files)
+	res, err := RunWith(pkg, analyzers, RunConfig{})
+	if err != nil {
+		return nil, err
+	}
 	var out []Diagnostic
+	for _, d := range res.Diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// RunWith executes the analyzers and returns the full Result.
+func RunWith(pkg *PackageInfo, analyzers []*Analyzer, cfg RunConfig) (*Result, error) {
+	allow := buildAllowIndex(pkg.Fset, pkg.Files)
+	res := &Result{}
+
+	needFacts := false
+	for _, a := range analyzers {
+		if a.NeedsFacts && (a.AppliesTo == nil || a.AppliesTo(pkg.PkgPath)) {
+			needFacts = true
+		}
+	}
+	var facts *FactSet
+	if needFacts && !cfg.NoFacts {
+		facts = ComputeFacts(pkg, cfg.Imported)
+		res.Facts = facts
+	}
+
 	for _, a := range analyzers {
 		if a.AppliesTo != nil && !a.AppliesTo(pkg.PkgPath) {
 			continue
@@ -154,22 +223,37 @@ func Run(pkg *PackageInfo, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Info:      pkg.Info,
 			PkgPath:   pkg.PkgPath,
 			GoVersion: pkg.GoVersion,
+			Facts:     facts,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 		for _, d := range diags {
-			if !allow.allows(pkg.Fset.Position(d.Pos), a.Name) {
-				out = append(out, d)
-			}
+			d.Suppressed = allow.allows(pkg.Fset.Position(d.Pos), a.Name)
+			res.Diags = append(res.Diags, d)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Pos != out[j].Pos {
-			return out[i].Pos < out[j].Pos
+
+	// Byte-stable output order regardless of analyzer registration or file
+	// load order: (file, line, column, analyzer, message).
+	sort.Slice(res.Diags, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(res.Diags[i].Pos), pkg.Fset.Position(res.Diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
 		}
-		return out[i].Analyzer < out[j].Analyzer
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		if res.Diags[i].Analyzer != res.Diags[j].Analyzer {
+			return res.Diags[i].Analyzer < res.Diags[j].Analyzer
+		}
+		return res.Diags[i].Message < res.Diags[j].Message
 	})
-	return out, nil
+
+	res.UnusedAllows = allow.unused(analyzers)
+	return res, nil
 }

@@ -42,6 +42,31 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
 // for version-gated analyzers like loopclosure.
 func RunWithVersion(t *testing.T, testdata string, a *analysis.Analyzer, pkg, goVersion string) {
 	t.Helper()
+	pi := LoadCorpus(t, testdata, pkg, goVersion)
+	diags, err := analysis.Run(pi, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pi.Fset, pi.Files)
+	for _, d := range diags {
+		pos := pi.Fset.Position(d.Pos)
+		if !matchWant(wants, pos, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s [%s]", filepath.Base(pos.Filename), pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.re.String())
+		}
+	}
+}
+
+// LoadCorpus parses and typechecks testdata/src/<pkg> into a PackageInfo,
+// for tests that drive analysis.RunWith directly (legacy-mode comparisons,
+// unused-allow audits).
+func LoadCorpus(t *testing.T, testdata, pkg, goVersion string) *analysis.PackageInfo {
+	t.Helper()
 	dir := filepath.Join(testdata, "src", pkg)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -73,31 +98,33 @@ func RunWithVersion(t *testing.T, testdata string, a *analysis.Analyzer, pkg, go
 	if err != nil {
 		t.Fatalf("typechecking corpus %s: %v", pkg, err)
 	}
-
-	diags, err := analysis.Run(&analysis.PackageInfo{
+	return &analysis.PackageInfo{
 		Fset:      fset,
 		Files:     files,
 		Pkg:       tpkg,
 		Info:      info,
 		PkgPath:   pkg,
 		GoVersion: goVersion,
-	}, []*analysis.Analyzer{a})
+	}
+}
+
+// Diagnostics runs one analyzer over the corpus and returns the surviving
+// (unsuppressed) diagnostics, with the fact engine optionally disabled —
+// the raw material for proving what the legacy block-scoped passes miss.
+func Diagnostics(t *testing.T, testdata string, a *analysis.Analyzer, pkg string, noFacts bool) []analysis.Diagnostic {
+	t.Helper()
+	pi := LoadCorpus(t, testdata, pkg, "go1.22")
+	res, err := analysis.RunWith(pi, []*analysis.Analyzer{a}, analysis.RunConfig{NoFacts: noFacts})
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
-
-	wants := collectWants(t, fset, files)
-	for _, d := range diags {
-		pos := fset.Position(d.Pos)
-		if !matchWant(wants, pos, d.Message) {
-			t.Errorf("%s:%d: unexpected diagnostic: %s [%s]", filepath.Base(pos.Filename), pos.Line, d.Message, d.Analyzer)
+	var out []analysis.Diagnostic
+	for _, d := range res.Diags {
+		if !d.Suppressed {
+			out = append(out, d)
 		}
 	}
-	for _, w := range wants {
-		if !w.matched {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.re.String())
-		}
-	}
+	return out
 }
 
 // expectation is one quoted regexp of a want comment.

@@ -32,10 +32,11 @@ import (
 // skip-copy fast path, ring staging) are annotated //aapc:allow copycount
 // with the reason.
 var Copycount = &Analyzer{
-	Name:      "copycount",
-	Doc:       "rejects payload byte copies in functions annotated //aapc:nocopy",
-	SkipTests: true,
-	Run:       runCopycount,
+	Name:       "copycount",
+	Doc:        "rejects payload byte copies in functions annotated //aapc:nocopy",
+	SkipTests:  true,
+	NeedsFacts: true,
+	Run:        runCopycount,
 }
 
 const nocopyMarker = "aapc:nocopy"
@@ -130,7 +131,25 @@ func checkCopycountCall(pass *Pass, fb funcBody, call *ast.CallExpr) {
 		if sel.Sel.Name == "Pack" || sel.Sel.Name == "Unpack" {
 			if isDatatypeType(pass.TypeOf(sel.X)) {
 				reportCopy(pass, fb, call.Pos(), "Datatype.%s stages payload through a pack buffer", sel.Sel.Name)
+				return
 			}
+		}
+	}
+	// Interprocedural: a callee whose fact says it copies this byte-slice
+	// argument on its own hot path copies it here too — moving the memcpy
+	// one frame down does not make the function zero-copy.
+	callee := CalleeFunc(pass, call)
+	if callee == nil {
+		return
+	}
+	cf := pass.Facts.Func(FuncKey(callee))
+	if cf == nil {
+		return
+	}
+	for idx, arg := range CallArgs(pass, call, callee) {
+		if p := cf.Param(idx); p != nil && p.Copied && isByteSlice(pass.TypeOf(arg)) {
+			reportCopy(pass, fb, call.Pos(), "call to %s copies payload bytes on its hot path", callee.Name())
+			return
 		}
 	}
 }

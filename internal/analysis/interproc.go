@@ -1,0 +1,682 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// The summary engine: computes a FuncFact for every declared function of a
+// package, iterating to a fixed point so facts flow bottom-up through the
+// intra-package call graph (mutual recursion converges because every bit is
+// monotone). Cross-package flow needs no iteration: the unit checker hands
+// us dependency facts already complete, and Go's import graph is acyclic.
+//
+// The walk deliberately ignores function literals except where noted: a
+// literal may run on another goroutine or after the function returns, so
+// folding its effects into the enclosing function's summary would claim
+// orderings (locks) and releases that never happen synchronously. Capturing
+// a parameter in a literal still marks it as escaping, and consumption
+// anywhere (including literals) still counts — both are suppression bits.
+
+// maxFactIterations bounds the intra-package fixed point; facts are
+// monotone, so this is a safety net, not a convergence requirement.
+const maxFactIterations = 20
+
+// ComputeFacts summarizes every function declared in pkg, seeding the
+// result with imported (already stable) dependency facts.
+func ComputeFacts(pkg *PackageInfo, imported *FactSet) *FactSet {
+	fs := NewFactSet()
+	fs.Merge(imported)
+
+	pass := &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info, PkgPath: pkg.PkgPath}
+
+	type fnUnit struct {
+		key  string
+		decl *ast.FuncDecl
+	}
+	var units []fnUnit
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			obj, _ := pass.ObjectOf(decl.Name).(*types.Func)
+			key := FuncKey(obj)
+			if key == "" {
+				continue
+			}
+			units = append(units, fnUnit{key: key, decl: decl})
+		}
+	}
+
+	for iter := 0; iter < maxFactIterations; iter++ {
+		changed := false
+		for _, u := range units {
+			fact := summarizeFunc(pass, fs, u.key, u.decl)
+			fact.normalize()
+			if prev := fs.funcs[u.key]; prev == nil || !prev.equal(fact) {
+				fs.funcs[u.key] = fact
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return fs
+}
+
+// summarizeFunc computes one function's fact against the current fact
+// universe.
+func summarizeFunc(pass *Pass, fs *FactSet, key string, decl *ast.FuncDecl) *FuncFact {
+	fact := &FuncFact{}
+	params := paramObjects(pass, decl)
+	if len(params) > 0 {
+		// get returns the (never-retained) fact entry for a parameter
+		// object; callers set one bit and drop the pointer, so the append
+		// below may reallocate freely.
+		get := func(obj types.Object) *ParamFact {
+			idx, ok := params[obj]
+			if !ok {
+				return nil
+			}
+			for i := range fact.Params {
+				if fact.Params[i].Index == idx {
+					return &fact.Params[i]
+				}
+			}
+			fact.Params = append(fact.Params, ParamFact{Index: idx})
+			return &fact.Params[len(fact.Params)-1]
+		}
+		summarizeParams(pass, fs, decl, params, get, fact)
+	}
+	summarizeLocks(pass, fs, key, decl, fact)
+	// Drop all-zero param entries so facts stay minimal and equal() cheap.
+	kept := fact.Params[:0]
+	for _, p := range fact.Params {
+		if p.Releases || p.Escapes || p.Copied || p.Consumed {
+			kept = append(kept, p)
+		}
+	}
+	fact.Params = kept
+	return fact
+}
+
+// paramObjects maps each parameter's object to its fact index (receiver
+// included under ReceiverIndex).
+func paramObjects(pass *Pass, decl *ast.FuncDecl) map[types.Object]int {
+	params := make(map[types.Object]int)
+	add := func(names []*ast.Ident, idx func(k int) int) {
+		for k, name := range names {
+			if obj := pass.ObjectOf(name); obj != nil {
+				params[obj] = idx(k)
+			}
+		}
+	}
+	if decl.Recv != nil && len(decl.Recv.List) == 1 {
+		add(decl.Recv.List[0].Names, func(int) int { return ReceiverIndex })
+	}
+	i := 0
+	if decl.Type.Params != nil {
+		for _, field := range decl.Type.Params.List {
+			n := len(field.Names)
+			if n == 0 {
+				i++ // unnamed parameter still occupies a position
+				continue
+			}
+			base := i
+			add(field.Names, func(k int) int { return base + k })
+			i += n
+		}
+	}
+	return params
+}
+
+// summarizeParams fills the per-parameter bits by one walk over the body.
+func summarizeParams(pass *Pass, fs *FactSet, decl *ast.FuncDecl, params map[types.Object]int, get func(types.Object) *ParamFact, fact *FuncFact) {
+	parents := buildParentsOf(decl)
+	paramOf := func(e ast.Expr) types.Object {
+		root := rootIdent(e)
+		if root == nil {
+			return nil
+		}
+		obj := pass.ObjectOf(root)
+		if _, ok := params[obj]; !ok {
+			return nil
+		}
+		return obj
+	}
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			summarizeCall(pass, fs, decl, params, paramOf, get, n)
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if obj := paramOf(res); obj != nil {
+					if pf := get(obj); pf != nil {
+						pf.Consumed = true
+						if idx, ok := params[obj]; ok && !fact.returnsParam(idx) {
+							fact.ReturnsParams = append(fact.ReturnsParams, idx)
+						}
+					}
+				}
+			}
+		case *ast.Ident:
+			obj := pass.ObjectOf(n)
+			if _, ok := params[obj]; !ok {
+				return true
+			}
+			if escapingUse(pass, parents, n) {
+				if pf := get(obj); pf != nil {
+					pf.Escapes = true
+					pf.Consumed = true
+				}
+			} else if consumingUseWithFacts(pass, fs, parents, n) {
+				if pf := get(obj); pf != nil {
+					pf.Consumed = true
+				}
+			}
+		case *ast.FuncLit:
+			// A literal capturing a parameter retains it: escape. The walk
+			// continues into the literal so the capture's Ident is seen, and
+			// escapingUse treats uses under a FuncLit as escapes.
+			return true
+		}
+		return true
+	})
+}
+
+// summarizeCall folds one call's effect on parameter facts: releases and
+// copies from direct evidence or callee facts.
+func summarizeCall(pass *Pass, fs *FactSet, decl *ast.FuncDecl, params map[types.Object]int, paramOf func(ast.Expr) types.Object, get func(types.Object) *ParamFact, call *ast.CallExpr) {
+	hot := !onColdPath(enclosingPath(decl, call.Pos()))
+
+	// Direct pool release: p.put(x) / x.Release() on a parameter.
+	if released, ok := isPoolRelease(pass, call); ok {
+		if obj := paramOf(released); obj != nil {
+			if pf := get(obj); pf != nil {
+				pf.Releases = true
+			}
+		}
+	}
+	// Direct payload copies on the hot path.
+	if hot {
+		for _, arg := range directCopyArgs(pass, call) {
+			if obj := paramOf(arg); obj != nil && isByteSlice(objType(obj)) {
+				if pf := get(obj); pf != nil {
+					pf.Copied = true
+				}
+			}
+		}
+	}
+	// Callee facts: releases, copies, escapes propagate to our arguments.
+	callee := CalleeFunc(pass, call)
+	if callee == nil {
+		return
+	}
+	cf := fs.Func(FuncKey(callee))
+	if cf == nil {
+		return
+	}
+	for idx, arg := range CallArgs(pass, call, callee) {
+		obj := paramOf(arg)
+		if obj == nil {
+			continue
+		}
+		cp := cf.Param(idx)
+		if cp == nil {
+			continue
+		}
+		pf := get(obj)
+		if pf == nil {
+			continue
+		}
+		if cp.Releases {
+			pf.Releases = true
+		}
+		if cp.Copied && hot {
+			pf.Copied = true
+		}
+		if cp.Escapes {
+			pf.Escapes = true
+			pf.Consumed = true
+		}
+		if cp.Consumed {
+			pf.Consumed = true
+		}
+	}
+}
+
+// directCopyArgs returns the payload-carrying argument expressions of a
+// direct byte-copying construct (the same vocabulary copycount flags).
+func directCopyArgs(pass *Pass, call *ast.CallExpr) []ast.Expr {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.ObjectOf(id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "copy":
+				if len(call.Args) == 2 && isByteSlice(pass.TypeOf(call.Args[0])) {
+					return call.Args
+				}
+			case "append":
+				if call.Ellipsis.IsValid() && len(call.Args) == 2 &&
+					isByteSlice(pass.TypeOf(call.Args[0])) && isByteSlice(pass.TypeOf(call.Args[1])) {
+					return call.Args[1:]
+				}
+			}
+			return nil
+		}
+	}
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if isAllocatingConversion(pass.TypeOf(call.Fun), pass.TypeOf(call.Args[0])) {
+			return call.Args
+		}
+		return nil
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if (sel.Sel.Name == "Pack" || sel.Sel.Name == "Unpack") && isDatatypeType(pass.TypeOf(sel.X)) {
+			return call.Args
+		}
+	}
+	return nil
+}
+
+func objType(obj types.Object) types.Type {
+	if obj == nil {
+		return nil
+	}
+	return obj.Type()
+}
+
+// escapingUse reports whether this identifier use stores the value into
+// retained state: composite literal, channel send, store through a
+// selector/index/deref, assignment to a package-level variable, address-of,
+// or capture by a function literal.
+func escapingUse(pass *Pass, parents map[ast.Node]ast.Node, id *ast.Ident) bool {
+	// Capture: any use lexically inside a FuncLit below the declaring
+	// function retains the variable beyond the current frame.
+	for n := parents[id]; n != nil; n = parents[n] {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return true
+		}
+		if _, ok := n.(*ast.FuncDecl); ok {
+			break
+		}
+	}
+	switch p := parents[id].(type) {
+	case *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
+		return true
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	case *ast.AssignStmt:
+		for _, rhs := range p.Rhs {
+			if rhs != id {
+				continue
+			}
+			for _, lhs := range p.Lhs {
+				switch l := lhs.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					return true
+				case *ast.Ident:
+					if obj := pass.ObjectOf(l); obj != nil && obj.Parent() == pass.Pkg.Scope() {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// consumingUseWithFacts is isConsumingUse refined by callee facts: passing
+// a value to a callee known not to consume that parameter is no longer a
+// consumption.
+func consumingUseWithFacts(pass *Pass, fs *FactSet, parents map[ast.Node]ast.Node, id *ast.Ident) bool {
+	if !isConsumingUse(pass, parents, id) {
+		return false
+	}
+	call, ok := parents[id].(*ast.CallExpr)
+	if !ok || call.Fun == id {
+		return true
+	}
+	consumed, known := calleeConsumesArg(pass, fs, call, id)
+	if !known {
+		return true
+	}
+	return consumed
+}
+
+// calleeConsumesArg resolves whether the callee's fact says the parameter
+// receiving id is consumed/escaped/released; known is false when no fact
+// covers the callee or the argument position.
+func calleeConsumesArg(pass *Pass, fs *FactSet, call *ast.CallExpr, id *ast.Ident) (consumed, known bool) {
+	callee := CalleeFunc(pass, call)
+	if callee == nil {
+		return false, false
+	}
+	cf := fs.Func(FuncKey(callee))
+	if cf == nil {
+		return false, false
+	}
+	for idx, arg := range CallArgs(pass, call, callee) {
+		if ast.Unparen(arg) != id {
+			continue
+		}
+		cp := cf.Param(idx)
+		if cp == nil {
+			return false, true
+		}
+		return cp.Consumed || cp.Escapes || cp.Releases, true
+	}
+	// Argument position not covered (variadic slot): stay conservative.
+	return false, false
+}
+
+// ---- lock facts ----
+
+// lockMethods maps the sync.Mutex/RWMutex method names to (acquire?, mode).
+var lockMethods = map[string]struct {
+	acquire bool
+	mode    string
+}{
+	"Lock":     {true, "w"},
+	"TryLock":  {true, "w"},
+	"RLock":    {true, "r"},
+	"TryRLock": {true, "r"},
+	"Unlock":   {false, "w"},
+	"RUnlock":  {false, "r"},
+}
+
+// mutexCall matches x.Lock() / x.RUnlock() / ... where x is (or embeds) a
+// sync.Mutex or sync.RWMutex, returning the mutex expression and method.
+func mutexCall(pass *Pass, call *ast.CallExpr) (mx ast.Expr, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return nil, "", false
+	}
+	if _, isLock := lockMethods[sel.Sel.Name]; !isLock {
+		return nil, "", false
+	}
+	if isMutexType(pass.TypeOf(sel.X)) {
+		return sel.X, sel.Sel.Name, true
+	}
+	// Embedded mutex: the selector resolves to sync.(*Mutex).Lock through
+	// promotion; the lock identity is the embedding value.
+	if fn, isFn := pass.ObjectOf(sel.Sel).(*types.Func); isFn && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+		return sel.X, sel.Sel.Name, true
+	}
+	return nil, "", false
+}
+
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync" && (n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex")
+}
+
+// lockClassOf names the lock an expression denotes, collapsing instances to
+// their declaration site: a struct field becomes pkg.Type.field (or
+// pkg.file:line.field when the owner type is unnamed), a package-level var
+// becomes pkg.name, and a local var pkg.name@file:line. Reported cycles are
+// therefore over lock *classes*; two instances of one class are one node.
+func lockClassOf(pass *Pass, e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	for {
+		if star, ok := e.(*ast.StarExpr); ok {
+			e = ast.Unparen(star.X)
+			continue
+		}
+		break
+	}
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		fieldObj, ok := pass.ObjectOf(x.Sel).(*types.Var)
+		if !ok || fieldObj.Pkg() == nil {
+			return "", false
+		}
+		owner := namedTypeName(baseType(pass.TypeOf(x.X)))
+		if owner == "" {
+			owner = shortPos(pass.Fset.Position(fieldObj.Pos()))
+		}
+		return fieldObj.Pkg().Path() + "." + owner + "." + fieldObj.Name(), true
+	case *ast.Ident:
+		obj := pass.ObjectOf(x)
+		if obj == nil || obj.Pkg() == nil {
+			return "", false
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name(), true
+		}
+		return obj.Pkg().Path() + "." + obj.Name() + "@" + shortPos(pass.Fset.Position(obj.Pos())), true
+	case *ast.IndexExpr:
+		return lockClassOf(pass, x.X)
+	}
+	return "", false
+}
+
+func baseType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func shortPos(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+}
+
+// heldLock is one entry of the lexical held-set.
+type heldLock struct {
+	class string
+	mode  string
+	pos   token.Pos
+}
+
+// lockWalker accumulates one function's lock fact.
+type lockWalker struct {
+	pass *Pass
+	fs   *FactSet
+	fn   string
+	fact *FuncFact
+	seen map[string]bool // edgeKey dedup
+	acq  map[LockAcq]bool
+}
+
+// summarizeLocks runs the lexical lock walk over the function body.
+func summarizeLocks(pass *Pass, fs *FactSet, key string, decl *ast.FuncDecl, fact *FuncFact) {
+	w := &lockWalker{pass: pass, fs: fs, fn: key, fact: fact,
+		seen: make(map[string]bool), acq: make(map[LockAcq]bool)}
+	w.walkStmts(decl.Body.List, &[]heldLock{})
+	for a := range w.acq {
+		fact.Acquires = append(fact.Acquires, a)
+	}
+}
+
+// walkStmts processes a statement list in order, mutating held in place;
+// branch bodies run on copies (acquisitions balanced inside a branch stay
+// inside it — the lexical approximation the package doc describes).
+func (w *lockWalker) walkStmts(list []ast.Stmt, held *[]heldLock) {
+	for _, s := range list {
+		w.walkStmt(s, held)
+	}
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held *[]heldLock) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.scanCalls(s.Cond, held)
+		branch := copyHeld(*held)
+		w.walkStmts(s.Body.List, &branch)
+		if s.Else != nil {
+			els := copyHeld(*held)
+			w.walkStmt(s.Else, &els)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.scanCalls(s.Cond, held)
+		body := copyHeld(*held)
+		w.walkStmts(s.Body.List, &body)
+	case *ast.RangeStmt:
+		w.scanCalls(s.X, held)
+		body := copyHeld(*held)
+		w.walkStmts(s.Body.List, &body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.scanCalls(s.Tag, held)
+		w.walkClauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		w.walkClauses(s.Body, held)
+	case *ast.SelectStmt:
+		w.walkClauses(s.Body, held)
+	case *ast.GoStmt:
+		// The goroutine does not run with our locks held-ordered; its own
+		// body is summarized when its function is.
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end: exactly
+		// the lexical model, so nothing to do. Other deferred calls run at
+		// exit with an unknown held-set; skip them.
+	default:
+		w.scanCalls(s, held)
+	}
+}
+
+func (w *lockWalker) walkClauses(body *ast.BlockStmt, held *[]heldLock) {
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.scanCalls(c.Comm, held)
+			}
+			stmts = c.Body
+		}
+		clause := copyHeld(*held)
+		w.walkStmts(stmts, &clause)
+	}
+}
+
+func copyHeld(h []heldLock) []heldLock {
+	out := make([]heldLock, len(h))
+	copy(out, h)
+	return out
+}
+
+// scanCalls visits every call in the node (function literals pruned) in
+// source order and applies lock transitions and callee-acquisition edges.
+func (w *lockWalker) scanCalls(n ast.Node, held *[]heldLock) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		w.applyCall(call, held)
+		return true
+	})
+}
+
+func (w *lockWalker) applyCall(call *ast.CallExpr, held *[]heldLock) {
+	if mx, method, ok := mutexCall(w.pass, call); ok {
+		class, ok := lockClassOf(w.pass, mx)
+		if !ok {
+			return
+		}
+		m := lockMethods[method]
+		if m.acquire {
+			w.acq[LockAcq{Class: class, Mode: m.mode}] = true
+			for _, h := range *held {
+				w.addEdge(h, class, m.mode, call.Pos())
+			}
+			*held = append(*held, heldLock{class: class, mode: m.mode, pos: call.Pos()})
+		} else {
+			for i := len(*held) - 1; i >= 0; i-- {
+				if (*held)[i].class == class {
+					*held = append((*held)[:i], (*held)[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+	callee := CalleeFunc(w.pass, call)
+	if callee == nil {
+		return
+	}
+	cf := w.fs.Func(FuncKey(callee))
+	if cf == nil || len(cf.Acquires) == 0 {
+		return
+	}
+	for _, a := range cf.Acquires {
+		w.acq[a] = true
+		for _, h := range *held {
+			w.addEdge(h, a.Class, a.Mode, call.Pos())
+		}
+	}
+}
+
+func (w *lockWalker) addEdge(h heldLock, to, toMode string, pos token.Pos) {
+	e := LockEdge{
+		From: h.class, FromMode: h.mode,
+		To: to, ToMode: toMode,
+		Fn:      w.fn,
+		Pos:     shortPosOf(w.pass.Fset, pos),
+		HeldPos: shortPosOf(w.pass.Fset, h.pos),
+	}
+	k := e.edgeKey() + "\x00" + w.fn
+	if w.seen[k] {
+		return
+	}
+	w.seen[k] = true
+	w.fact.Edges = append(w.fact.Edges, e)
+	if w.fs.localEdges != nil {
+		if _, have := w.fs.localEdges[e.edgeKey()]; !have {
+			w.fs.localEdges[e.edgeKey()] = pos
+		}
+	}
+}
+
+func shortPosOf(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// packageLabel shortens a lock class for diagnostics: the package path's
+// last element is kept, the rest dropped.
+func packageLabel(class string) string {
+	slash := strings.LastIndexByte(class, '/')
+	if slash < 0 {
+		return class
+	}
+	return class[slash+1:]
+}

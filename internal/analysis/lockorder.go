@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+)
+
+// Lockorder builds the static lock-acquisition graph of everything the
+// fact universe has seen — this package plus every dependency whose facts
+// were imported — and reports each cycle as a potential deadlock, with the
+// acquisition sites of every edge printed.
+//
+// Nodes are lock *classes*: a struct field collapses every instance to one
+// node (pkg.Type.field), a package-level mutex is its own node. An edge
+// A -> B means some function acquires B while holding A, either directly or
+// through a callee whose facts say it may acquire B. The walk is lexical
+// (interproc.go): branch-local acquisitions stay in their branch,
+// defer mu.Unlock() holds to function end, goroutine bodies contribute
+// their own function's edges but no ordering against the spawner.
+//
+// A cycle among classes is the classic deadlock precondition: two
+// executions can interleave so that each holds one lock of the cycle and
+// waits for the next. RWMutex read acquisitions are edges too — Go's
+// RWMutex blocks new readers once a writer is queued, so read-side cycles
+// deadlock the same way — and the report tags each acquisition (read) or
+// (write) so the distinction is visible.
+//
+// A cycle is reported once, in the package owning its lexically first
+// local edge, anchored at that acquisition so a deliberate ordering can be
+// suppressed with //aapc:allow lockorder <why both orders are safe>.
+// Same-class self-cycles (A acquired while an A is held) are reported as
+// recursive acquisition: with one instance that is an immediate deadlock,
+// and with two it is an instance-order hazard the class graph cannot
+// prove safe.
+var Lockorder = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "reports cycles in the static lock-acquisition graph as potential deadlocks",
+	SkipTests:  true,
+	NeedsFacts: true,
+	Run:        runLockorder,
+}
+
+func runLockorder(pass *Pass) error {
+	if pass.Facts == nil {
+		return nil
+	}
+	// Collect every edge in the universe, deduplicated by (from, to, modes);
+	// prefer an edge observed locally (it carries a reportable position).
+	edges := make(map[string]LockEdge)
+	for _, fact := range pass.Facts.funcs {
+		for _, e := range fact.Edges {
+			k := e.edgeKey()
+			_, isLocal := pass.Facts.localEdges[k]
+			if prev, ok := edges[k]; ok {
+				if _, prevLocal := pass.Facts.localEdges[prev.edgeKey()]; prevLocal || !isLocal {
+					continue
+				}
+			}
+			edges[k] = e
+		}
+	}
+
+	adj := make(map[string][]LockEdge)
+	for _, e := range edges {
+		if e.From == e.To {
+			// Self-cycle: report immediately (no enumeration needed), but
+			// only if observed locally.
+			if pos, ok := pass.Facts.localEdges[e.edgeKey()]; ok {
+				pass.Reportf(pos, "recursive acquisition: %s is locked at %s (in %s) while an instance of it is already held (at %s); same-instance recursion deadlocks immediately, cross-instance order cannot be proven",
+					packageLabel(e.To), e.Pos, shortFn(e.Fn), e.HeldPos)
+			}
+			continue
+		}
+		adj[e.From] = append(adj[e.From], e)
+	}
+	for _, list := range adj {
+		sort.Slice(list, func(i, j int) bool { return list[i].edgeKey() < list[j].edgeKey() })
+	}
+
+	// Enumerate simple cycles with a bounded DFS from each node (classes
+	// per package number in the tens, cycle lengths in practice 2-3).
+	const maxCycleLen = 5
+	seenCycles := make(map[string]bool)
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	var path []LockEdge
+	onPath := make(map[string]bool)
+	var dfs func(start, cur string)
+	dfs = func(start, cur string) {
+		if len(path) >= maxCycleLen {
+			return
+		}
+		for _, e := range adj[cur] {
+			if e.To == start {
+				cycle := append(append([]LockEdge(nil), path...), e)
+				reportCycle(pass, seenCycles, cycle)
+				continue
+			}
+			if onPath[e.To] {
+				continue
+			}
+			// Only enumerate cycles from their smallest node, so each
+			// cycle is found exactly once.
+			if e.To < start {
+				continue
+			}
+			onPath[e.To] = true
+			path = append(path, e)
+			dfs(start, e.To)
+			path = path[:len(path)-1]
+			onPath[e.To] = false
+		}
+	}
+	for _, n := range nodes {
+		onPath[n] = true
+		dfs(n, n)
+		onPath[n] = false
+	}
+	return nil
+}
+
+// reportCycle emits one diagnostic per distinct cycle that includes at
+// least one locally observed edge, anchored at the lexically first local
+// edge.
+func reportCycle(pass *Pass, seen map[string]bool, cycle []LockEdge) {
+	keys := make([]string, len(cycle))
+	for i, e := range cycle {
+		keys[i] = e.edgeKey()
+	}
+	sort.Strings(keys)
+	id := strings.Join(keys, "|")
+	if seen[id] {
+		return
+	}
+	seen[id] = true
+
+	anchor := -1
+	for i, e := range cycle {
+		pos, ok := pass.Facts.localEdges[e.edgeKey()]
+		if !ok {
+			continue
+		}
+		if anchor < 0 {
+			anchor = i
+		} else if aPos := pass.Facts.localEdges[cycle[anchor].edgeKey()]; pos < aPos {
+			anchor = i
+		}
+	}
+	if anchor < 0 {
+		return // cycle entirely in dependencies; their own run reports it
+	}
+
+	var b strings.Builder
+	b.WriteString("potential deadlock: lock-order cycle ")
+	b.WriteString(packageLabel(cycle[0].From))
+	for _, e := range cycle {
+		b.WriteString(" -> ")
+		b.WriteString(packageLabel(e.To))
+	}
+	b.WriteString(";")
+	for i, e := range cycle {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(" ")
+		b.WriteString(packageLabel(e.To))
+		b.WriteString(" (")
+		b.WriteString(modeWord(e.ToMode))
+		b.WriteString(") acquired at ")
+		b.WriteString(e.Pos)
+		b.WriteString(" in ")
+		b.WriteString(shortFn(e.Fn))
+		b.WriteString(" while holding ")
+		b.WriteString(packageLabel(e.From))
+		b.WriteString(" (")
+		b.WriteString(modeWord(e.FromMode))
+		b.WriteString(", locked at ")
+		b.WriteString(e.HeldPos)
+		b.WriteString(")")
+	}
+	pass.Reportf(pass.Facts.localEdges[cycle[anchor].edgeKey()], "%s", b.String())
+}
+
+func modeWord(m string) string {
+	if m == "r" {
+		return "read"
+	}
+	return "write"
+}
+
+// shortFn trims the package path of a qualified function key down to its
+// last element.
+func shortFn(fn string) string {
+	if i := strings.LastIndexByte(fn, '/'); i >= 0 {
+		return fn[i+1:]
+	}
+	return fn
+}

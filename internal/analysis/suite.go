@@ -1,7 +1,9 @@
 package analysis
 
 // Suite returns every analyzer enforced by aapcvet, in report order: the
-// five project invariants first, then the stock-style safety passes.
+// project invariants first (the fact-driven passes among them are marked
+// NeedsFacts and share one interprocedural summary computation per
+// package), then the stock-style safety passes.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		Poolsafe,
@@ -9,6 +11,8 @@ func Suite() []*Analyzer {
 		Waitcheck,
 		Noalloc,
 		Copycount,
+		Lockorder,
+		Spscsafe,
 		Shadow,
 		Copylocks,
 		Loopclosure,

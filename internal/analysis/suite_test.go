@@ -37,6 +37,36 @@ func TestCopycount(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Copycount, "copycount")
 }
 
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Lockorder, "lockorder")
+}
+
+func TestSpscsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Spscsafe, "spscsafe")
+}
+
+// TestPoolsafeInterprocedural runs poolsafe with facts over a corpus whose
+// every finding crosses a call boundary: helper releases (direct and
+// transitive) and aliases through returns-param callees.
+func TestPoolsafeInterprocedural(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Poolsafe, "poolsafeinter")
+}
+
+// TestPoolsafeLegacyMiss proves the interprocedural cases are exactly that:
+// with the fact engine disabled, the block-scoped pass reports nothing on
+// the poolsafeinter corpus — every finding there is new precision, not a
+// restatement of what the old pass caught.
+func TestPoolsafeLegacyMiss(t *testing.T) {
+	diags := analysistest.Diagnostics(t, "testdata", analysis.Poolsafe, "poolsafeinter", true)
+	for _, d := range diags {
+		t.Errorf("legacy poolsafe unexpectedly found: %s", d.Message)
+	}
+	with := analysistest.Diagnostics(t, "testdata", analysis.Poolsafe, "poolsafeinter", false)
+	if len(with) == 0 {
+		t.Fatalf("fact-driven poolsafe found nothing on the interprocedural corpus")
+	}
+}
+
 func TestShadow(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Shadow, "shadow")
 }
@@ -53,4 +83,53 @@ func TestLoopclosure(t *testing.T) {
 // per-iteration loop-variable semantics.
 func TestLoopclosureVersionGate(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Loopclosure, "loopclosure122")
+}
+
+// TestUnusedAllowAudit drives the full Result surface: a suppressed finding
+// marks its allow comment used; a comment that suppressed nothing surfaces
+// in UnusedAllows with its position.
+func TestUnusedAllowAudit(t *testing.T) {
+	pi := analysistest.LoadCorpus(t, "testdata", "unusedallow", "go1.22")
+	res, err := analysis.RunWith(pi, []*analysis.Analyzer{analysis.Poolsafe}, analysis.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	suppressed := 0
+	for _, d := range res.Diags {
+		if !d.Suppressed {
+			t.Errorf("unexpected live diagnostic: %s", d.Message)
+			continue
+		}
+		suppressed++
+	}
+	if suppressed != 1 {
+		t.Errorf("suppressed findings = %d, want 1", suppressed)
+	}
+
+	if len(res.UnusedAllows) != 1 {
+		t.Fatalf("unused allows = %+v, want exactly one", res.UnusedAllows)
+	}
+	e := res.UnusedAllows[0]
+	if e.Analyzer != "poolsafe" {
+		t.Errorf("stale entry analyzer = %q, want poolsafe", e.Analyzer)
+	}
+	pos := pi.Fset.Position(pi.Files[0].Pos())
+	if e.File != pos.Filename {
+		t.Errorf("stale entry file = %q, want %q", e.File, pos.Filename)
+	}
+}
+
+// TestUnusedAllowScopedToRanAnalyzers proves a comment for a pass that was
+// not enabled this run is not reported as stale: absence of evidence only
+// counts when the analyzer actually looked.
+func TestUnusedAllowScopedToRanAnalyzers(t *testing.T) {
+	pi := analysistest.LoadCorpus(t, "testdata", "unusedallow", "go1.22")
+	res, err := analysis.RunWith(pi, []*analysis.Analyzer{analysis.Determinism}, analysis.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.UnusedAllows) != 0 {
+		t.Errorf("unused allows with poolsafe disabled = %+v, want none", res.UnusedAllows)
+	}
 }

@@ -1,0 +1,121 @@
+// Corpus for the lockorder analyzer: cycles in the static lock-acquisition
+// graph. Each case uses its own mutexes so the cycles stay independent.
+package lockorder
+
+import "sync"
+
+// ---- case 1: cycle across two functions, one edge through a callee fact ----
+
+var muA, muB sync.Mutex
+
+// lockB is summarized as "acquires muB"; path1's edge muA -> muB exists
+// only through that fact — no syntactic muB.Lock under the held set.
+func lockB() {
+	muB.Lock()
+	defer muB.Unlock()
+}
+
+func path1() {
+	muA.Lock()
+	lockB() // want `potential deadlock: lock-order cycle`
+	muA.Unlock()
+}
+
+func path2() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// ---- case 2: RWMutex read acquisition participates in cycles ----
+
+var rw sync.RWMutex
+var muC sync.Mutex
+
+func readThenLock() {
+	rw.RLock() // read-side acquisition: still an ordering edge
+	muC.Lock() // want `while holding lockorder\.rw \(read`
+	muC.Unlock()
+	rw.RUnlock()
+}
+
+func lockThenWrite() {
+	muC.Lock()
+	rw.Lock()
+	rw.Unlock()
+	muC.Unlock()
+}
+
+// ---- case 3: deliberate cycle, suppressed with an allow comment ----
+
+var muS1, muS2 sync.Mutex
+
+func orderedForward() {
+	muS1.Lock()
+	muS2.Lock() //aapc:allow lockorder both sites run under a higher-level gate
+	muS2.Unlock()
+	muS1.Unlock()
+}
+
+func orderedBackward() {
+	muS2.Lock()
+	muS1.Lock()
+	muS1.Unlock()
+	muS2.Unlock()
+}
+
+// ---- case 4: recursive acquisition through a helper ----
+
+var muR sync.Mutex
+
+func relock() {
+	muR.Lock()
+	muR.Unlock()
+}
+
+func rec() {
+	muR.Lock()
+	relock() // want `recursive acquisition`
+	muR.Unlock()
+}
+
+// ---- non-findings ----
+
+// Consistent ordering everywhere: no cycle.
+var muX, muY sync.Mutex
+
+func xy1() {
+	muX.Lock()
+	muY.Lock()
+	muY.Unlock()
+	muX.Unlock()
+}
+
+func xy2() {
+	muX.Lock()
+	defer muX.Unlock()
+	muY.Lock()
+	defer muY.Unlock()
+}
+
+// Branch-local acquisition does not leak into the fallthrough path.
+var muP, muQ sync.Mutex
+
+func branchScoped(cond bool) {
+	if cond {
+		muP.Lock()
+		muP.Unlock()
+	}
+	muQ.Lock()
+	muQ.Unlock()
+}
+
+func branchScopedReverse(cond bool) {
+	muQ.Lock()
+	muQ.Unlock()
+	if cond {
+		muP.Lock()
+		muP.Unlock()
+	}
+}

@@ -1,0 +1,75 @@
+// Corpus for the interprocedural poolsafe upgrade: releases hidden behind a
+// call boundary and aliases created by returns-param callees. Every finding
+// here depends on function facts — the legacy block-scoped pass reports
+// nothing on this file, which TestPoolsafeLegacyMiss asserts.
+package poolsafeinter
+
+type bufPool struct{ free [][]byte }
+
+func (p *bufPool) get(n int) []byte {
+	if len(p.free) == 0 {
+		return make([]byte, n)
+	}
+	b := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return b[:n]
+}
+
+func (p *bufPool) put(b []byte) { p.free = append(p.free, b) }
+
+// freeBuf wraps the release: its fact marks parameter b as Releases, so a
+// call to it is a release of the argument at the call site.
+func freeBuf(p *bufPool, b []byte) {
+	p.put(b)
+}
+
+// freeIndirect releases through one more hop: the fact propagates
+// transitively in the bottom-up fixed point.
+func freeIndirect(p *bufPool, b []byte) {
+	freeBuf(p, b)
+}
+
+// header returns a view of its argument: its fact records that the result
+// aliases parameter 0.
+func header(b []byte) []byte {
+	return b[:4]
+}
+
+func useAfterHelperRelease(p *bufPool) byte {
+	b := p.get(64)
+	freeBuf(p, b)
+	return b[0] // want `use of b after it was released to the pool at line \d+`
+}
+
+func useAfterTransitiveRelease(p *bufPool) int {
+	b := p.get(64)
+	freeIndirect(p, b)
+	return len(b) // want `use of b after it was released to the pool at line \d+`
+}
+
+func useAliasAfterRelease(p *bufPool) byte {
+	b := p.get(64)
+	h := header(b)
+	p.put(b)
+	return h[0] // want `use of h after it was released to the pool at line \d+`
+}
+
+// ---- non-findings ----
+
+// inspect only reads its argument: passing a buffer to it is not a release.
+func inspect(b []byte) int { return len(b) }
+
+func useAfterInspect(p *bufPool) int {
+	b := p.get(64)
+	n := inspect(b)
+	return n + len(b)
+}
+
+// Reassignment after a helper release ends tracking, same as for a direct
+// release.
+func reassignedAfterHelperRelease(p *bufPool) byte {
+	b := p.get(64)
+	freeBuf(p, b)
+	b = p.get(32)
+	return b[0]
+}

@@ -1,0 +1,130 @@
+// Corpus for the spscsafe analyzer: atomic access discipline and
+// producer/consumer role separation on annotated SPSC ring types.
+package spscsafe
+
+import "sync/atomic"
+
+// ring is the word-cursor shape: cursors are uint64 fields accessed by
+// address.
+//
+//aapc:spsc
+type ring struct {
+	tail uint64 //aapc:cursor producer
+	head uint64 //aapc:cursor consumer
+	data []byte
+}
+
+func newRing(n int) *ring { return &ring{data: make([]byte, n)} }
+
+// push is the clean producer: loads both cursors, stores only its own.
+//
+//aapc:role producer
+func (r *ring) push(b byte) bool {
+	tail := atomic.LoadUint64(&r.tail)
+	head := atomic.LoadUint64(&r.head)
+	if int(tail-head) == len(r.data) {
+		return false
+	}
+	r.data[tail%uint64(len(r.data))] = b
+	atomic.StoreUint64(&r.tail, tail+1)
+	return true
+}
+
+// pop is the clean consumer.
+//
+//aapc:role consumer
+func (r *ring) pop() (byte, bool) {
+	head := atomic.LoadUint64(&r.head)
+	tail := atomic.LoadUint64(&r.tail)
+	if tail == head {
+		return 0, false
+	}
+	b := r.data[head%uint64(len(r.data))]
+	atomic.StoreUint64(&r.head, head+1)
+	return b, true
+}
+
+// mixedAtomicPlain polls with a plain load next to atomic stores: the race
+// the analyzer exists to catch.
+//
+//aapc:role consumer
+func (r *ring) mixedAtomicPlain() (byte, bool) {
+	head := r.head // want `cursor ring\.head copied out by plain read`
+	tail := atomic.LoadUint64(&r.tail)
+	if tail == head {
+		return 0, false
+	}
+	b := r.data[head%uint64(len(r.data))]
+	atomic.StoreUint64(&r.head, head+1)
+	return b, true
+}
+
+// wrongRole mutates the cursor the other party owns.
+//
+//aapc:role consumer
+func (r *ring) wrongRole() {
+	atomic.StoreUint64(&r.tail, 0) // want `consumer-role method writes producer-owned cursor ring\.tail`
+}
+
+// reset stores a cursor from a method that never declared its role.
+func (r *ring) reset() {
+	atomic.StoreUint64(&r.head, 0) // want `cursor ring\.head written in a method without an //aapc:role annotation`
+}
+
+// plainIncrement bypasses atomics entirely.
+//
+//aapc:role producer
+func (r *ring) plainIncrement() {
+	r.tail++ // want `plain write of cursor ring\.tail`
+}
+
+// crossRoleCall: one end of the ring invoking the other end's operations is
+// two parties in one goroutine.
+//
+//aapc:role producer
+func (r *ring) crossRoleCall() {
+	r.pop() // want `producer-role method calls consumer-role method pop`
+}
+
+// pring is the pointer-cursor shape (cursors live in a shared segment, the
+// struct holds pointers), matching the shm transport's Ring.
+//
+//aapc:spsc
+type pring struct {
+	tail *uint64 //aapc:cursor producer
+	head *uint64 //aapc:cursor consumer
+}
+
+func newPring() *pring {
+	var segment [2]uint64
+	return &pring{tail: &segment[0], head: &segment[1]}
+}
+
+//aapc:role producer
+func (p *pring) advance() {
+	tail := atomic.LoadUint64(p.tail)
+	atomic.StoreUint64(p.tail, tail+1)
+}
+
+// badDeref reads the shared word through the pointer without an atomic.
+//
+//aapc:role consumer
+func (p *pring) badDeref() uint64 {
+	return *p.tail // want `plain read of cursor pring\.tail`
+}
+
+// leakPointer hands the cursor's address to arbitrary code.
+func (p *pring) leakPointer(sink func(*uint64)) {
+	sink(p.head) // want `cursor pring\.head passed to a non-atomic call`
+}
+
+// unmarked is an identical struct without the annotation: out of scope.
+type unmarked struct {
+	tail uint64
+	head uint64
+}
+
+func (u *unmarked) anythingGoes() {
+	u.tail++
+	u.head = u.tail
+}

@@ -92,3 +92,29 @@ func deliberateAbandon(c *Comm, buf []byte) error {
 	}
 	return r.Wait()
 }
+
+// ---- interprocedural cases: callee facts decide who holds the request ----
+
+// dropOnFloor ignores its request entirely; its fact proves it.
+func dropOnFloor(r *Request) {}
+
+// handOff genuinely consumes: the request reaches a Wait one frame down.
+func handOff(r *Request) error { return r.Wait() }
+
+func passedToSink(c *Comm, buf []byte) {
+	dropOnFloor(c.Isend(buf, 1)) // want `result of Isend is passed to dropOnFloor, which neither waits nor retains it`
+}
+
+func passedToWaiter(c *Comm, buf []byte) error {
+	return handOff(c.Isend(buf, 1)) // ok: handOff waits
+}
+
+func storedThenDropped(c *Comm, buf []byte) {
+	r := c.Isend(buf, 1) // want `request stored in "r" is never waited`
+	dropOnFloor(r)
+}
+
+func storedThenHandedOff(c *Comm, buf []byte) error {
+	r := c.Isend(buf, 1)
+	return handOff(r) // ok: the callee's fact marks the parameter consumed
+}

@@ -24,10 +24,16 @@ import (
 //     — the classic leak-on-error-path. Deliberate abandonment (e.g. a
 //     timed-out collective whose scratch is left to the GC) is annotated
 //     //aapc:allow waitcheck with the reason.
+// With facts available (facts.go) the pass is interprocedural: passing a
+// request to a callee counts as consumption only when the callee's fact
+// says the parameter is waited, retained, or escapes — handing a request to
+// a helper that ignores it is now a finding, not an assumption of
+// responsibility. Unknown callees stay conservative (assumed to consume).
 var Waitcheck = &Analyzer{
-	Name: "waitcheck",
-	Doc:  "flags Isend/Irecv requests that can escape without reaching a Wait",
-	Run:  runWaitcheck,
+	Name:       "waitcheck",
+	Doc:        "flags Isend/Irecv requests that can escape without reaching a Wait",
+	NeedsFacts: true,
+	Run:        runWaitcheck,
 }
 
 // isRequestAcquisition reports whether call is c.Isend(...)/c.Irecv(...)
@@ -124,7 +130,24 @@ func checkAcquisition(pass *Pass, file *ast.File, parents map[ast.Node]ast.Node,
 				return
 			}
 		}
-		return // any other callee is assumed to take responsibility
+		// A callee with a fact proving it drops the request on the floor is
+		// not taking responsibility; anything without a fact still is.
+		if callee := CalleeFunc(pass, p); callee != nil {
+			if cf := pass.Facts.Func(FuncKey(callee)); cf != nil {
+				for idx, arg := range CallArgs(pass, p, callee) {
+					if ast.Unparen(arg) != call {
+						continue
+					}
+					cp := cf.Param(idx)
+					if cp == nil || !(cp.Consumed || cp.Escapes || cp.Releases) {
+						pass.Reportf(call.Pos(), "result of %s is passed to %s, which neither waits nor retains it",
+							callName(call), callee.Name())
+					}
+					return
+				}
+			}
+		}
+		return
 	case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
 		return // escapes to the caller / a structure / a channel
 	case *ast.AssignStmt:
@@ -208,7 +231,9 @@ func trackVariable(pass *Pass, file *ast.File, parents map[ast.Node]ast.Node, ac
 			}
 			return true
 		case *ast.Ident:
-			if pass.ObjectOf(n) != obj || !isConsumingUse(pass, parents, n) {
+			// consumingUseWithFacts degrades to isConsumingUse exactly when
+			// pass.Facts is nil (legacy block-scoped mode).
+			if pass.ObjectOf(n) != obj || !consumingUseWithFacts(pass, pass.Facts, parents, n) {
 				return true
 			}
 			if stmt := owningStatement(parents, n); stmt != nil {

@@ -44,9 +44,15 @@ const recordHeader = 12
 
 // Ring is one directed SPSC byte ring over a segment. At most one goroutine
 // (or process) may produce and one consume; the two may differ freely.
+//
+// The aapc:spsc markers below put the ring under the spscsafe analyzer:
+// every cursor access must go through sync/atomic, and only methods carrying
+// the matching //aapc:role may store their cursor.
+//
+//aapc:spsc
 type Ring struct {
-	tail   *uint64
-	head   *uint64
+	tail   *uint64 //aapc:cursor producer
+	head   *uint64 //aapc:cursor consumer
 	closed *uint64
 	data   []byte
 	cap    uint64
@@ -128,6 +134,8 @@ func (r *Ring) copyOut(pos uint64, p []byte) {
 
 // TryWrite copies up to len(p) bytes into the ring (stream mode) and
 // returns the count, 0 when the ring is full. Producer side only.
+//
+//aapc:role producer
 func (r *Ring) TryWrite(p []byte) int {
 	tail := atomic.LoadUint64(r.tail)
 	head := atomic.LoadUint64(r.head) // acquire: consumer freed this space
@@ -143,6 +151,8 @@ func (r *Ring) TryWrite(p []byte) int {
 
 // TryRead pops up to len(p) bytes from the ring (stream mode) and returns
 // the count, 0 when the ring is empty. Consumer side only.
+//
+//aapc:role consumer
 func (r *Ring) TryRead(p []byte) int {
 	head := atomic.LoadUint64(r.head)
 	tail := atomic.LoadUint64(r.tail) // acquire: producer published these bytes
@@ -160,6 +170,8 @@ func (r *Ring) TryRead(p []byte) int {
 // either the whole record enters the ring or nothing does (false when free
 // space is insufficient). Record and stream modes must not be mixed on one
 // ring. Producer side only.
+//
+//aapc:role producer
 func (r *Ring) WriteRecord(tag int64, p []byte) bool {
 	need := recordHeader + len(p)
 	if need > int(r.cap) {
@@ -182,6 +194,8 @@ func (r *Ring) WriteRecord(tag int64, p []byte) bool {
 // PeekRecord returns the next record's tag and payload size without
 // consuming it; ok is false when the ring holds no complete record.
 // Consumer side only.
+//
+//aapc:role consumer
 func (r *Ring) PeekRecord() (tag int64, size int, ok bool) {
 	head := atomic.LoadUint64(r.head)
 	tail := atomic.LoadUint64(r.tail)
@@ -195,6 +209,8 @@ func (r *Ring) PeekRecord() (tag int64, size int, ok bool) {
 
 // ReadRecord consumes the next record, copying its payload into p (which
 // must hold PeekRecord's size). Consumer side only.
+//
+//aapc:role consumer
 func (r *Ring) ReadRecord(p []byte) {
 	head := atomic.LoadUint64(r.head)
 	r.copyOut(head+recordHeader, p)

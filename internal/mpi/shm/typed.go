@@ -14,6 +14,8 @@ import (
 // writeRecordTyped publishes one record whose payload is the dt-described
 // bytes of base, gathered block by block into the ring. False when free
 // space is insufficient. Producer side only.
+//
+//aapc:role producer
 func (r *Ring) writeRecordTyped(tag int64, base []byte, dt mpi.Datatype) bool {
 	size := dt.Size()
 	need := recordHeader + size
@@ -45,6 +47,8 @@ func (r *Ring) writeRecordTyped(tag int64, base []byte, dt mpi.Datatype) bool {
 // when the layout is too small to hold it (the caller reports truncation).
 // Consumer side only; the caller has established via PeekRecord that a
 // record is present.
+//
+//aapc:role consumer
 func (r *Ring) readRecordTyped(base []byte, dt mpi.Datatype) int {
 	head := atomic.LoadUint64(r.head)
 	var hdr [recordHeader]byte
